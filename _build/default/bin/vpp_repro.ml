@@ -1,0 +1,61 @@
+(* Command-line driver: regenerate each table and figure of the paper. *)
+
+open Cmdliner
+
+let run_table1 () = print_string (Exp_table1.render (Exp_table1.run ()))
+let run_table2 () = print_string (Exp_table2.render (Exp_table2.run ()))
+let run_table3 () = print_string (Exp_table3.render (Exp_table3.run ()))
+
+let run_table4 quick () = print_string (Exp_table4.render (Exp_table4.run ~quick ()))
+
+let run_figures () = print_string (Exp_figures.render (Exp_figures.run ()))
+
+let run_stats () = print_string (Exp_substrate.render (Exp_substrate.run ()))
+
+let run_ablations () =
+  List.iter
+    (fun a ->
+      print_string (Exp_ablations.render a);
+      print_newline ())
+    (Exp_ablations.run_all ())
+
+let run_all quick () =
+  run_table1 ();
+  print_newline ();
+  run_table2 ();
+  print_newline ();
+  run_table3 ();
+  print_newline ();
+  run_table4 quick ();
+  print_newline ();
+  run_figures ()
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Shorten the Table 4 simulation (60s instead of 300s).")
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let () =
+  let cmds =
+    [
+      cmd "table1" "System primitive times (Table 1)" Term.(const run_table1 $ const ());
+      cmd "table2" "Application elapsed times (Table 2)" Term.(const run_table2 $ const ());
+      cmd "table3" "VM system activity and costs (Table 3)" Term.(const run_table3 $ const ());
+      cmd "table4" "DBMS transaction response times (Table 4)"
+        Term.(const run_table4 $ quick_flag $ const ());
+      cmd "figures" "Figures 1 and 2 as live kernel-state dumps"
+        Term.(const run_figures $ const ());
+      cmd "ablate" "Ablations of the design choices (batching, delivery mode, crossover)"
+        Term.(const run_ablations $ const ());
+      cmd "stats" "Translation-substrate statistics (mapping hash, TLB) for the Table 2 runs"
+        Term.(const run_stats $ const ());
+      cmd "all" "Every table and figure" Term.(const run_all $ quick_flag $ const ());
+    ]
+  in
+  let info =
+    Cmd.info "vpp_repro" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'Application-Controlled Physical Memory using External Page-Cache \
+         Management' (Harty & Cheriton, ASPLOS 1992)"
+  in
+  exit (Cmd.eval (Cmd.group info ~default:Term.(const run_all $ quick_flag $ const ()) cmds))

@@ -1,0 +1,1 @@
+examples/checkpoint.ml: Epcm_kernel Epcm_manager Epcm_segment Hw_cost Hw_machine Hw_page_data List Mgr_checkpoint Printf Sim_engine Sim_rng

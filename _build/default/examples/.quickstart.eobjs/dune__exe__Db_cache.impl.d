@@ -1,0 +1,1 @@
+examples/db_cache.ml: Epcm_kernel Epcm_segment Fun Hw_disk Hw_machine List Mgr_dbms Printf Sim_engine

@@ -1,0 +1,1 @@
+examples/dsm_sharing.ml: Epcm_kernel Epcm_segment Hw_machine Hw_page_data Mgr_dsm Printf Sim_engine

@@ -1,0 +1,1 @@
+examples/gc_discard.ml: Epcm_kernel Epcm_manager Epcm_segment Hw_disk Hw_machine Hw_page_data Mgr_gc Printf Sim_engine

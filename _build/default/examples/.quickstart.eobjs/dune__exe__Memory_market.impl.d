@@ -1,0 +1,1 @@
+examples/memory_market.ml: Epcm_kernel Epcm_manager Hw_machine List Mgr_backing Mgr_free_pages Mgr_generic Option Printf Sim_engine Spcm Spcm_market

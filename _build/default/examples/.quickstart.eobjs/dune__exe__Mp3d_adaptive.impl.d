@@ -1,0 +1,1 @@
+examples/mp3d_adaptive.ml: Epcm_kernel Epcm_manager Epcm_segment Hw_disk Hw_machine Mgr_backing Mgr_generic Printf Sim_engine

@@ -1,0 +1,1 @@
+examples/mp3d_adaptive.mli:

@@ -1,0 +1,1 @@
+examples/numa_placement.ml: Array Epcm_kernel Epcm_segment Hw_machine Printf Sim_engine Spcm

@@ -1,0 +1,1 @@
+examples/page_coloring.ml: Array Epcm_kernel Epcm_manager Epcm_segment Hw_cache Hw_machine Hw_phys_mem Mgr_coloring Printf Spcm

@@ -1,0 +1,1 @@
+examples/prefetch_scan.ml: Epcm_kernel Epcm_manager Epcm_segment Hw_disk Hw_machine Mgr_prefetch Printf Sim_engine

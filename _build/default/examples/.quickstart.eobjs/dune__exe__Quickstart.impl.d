@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Epcm_flags Epcm_kernel Epcm_manager Epcm_segment Hw_machine Hw_page_data Mgr_backing Mgr_generic Option Printf Sim_trace

@@ -1,0 +1,1 @@
+lib/core/epcm_flags.ml: Format Int List String

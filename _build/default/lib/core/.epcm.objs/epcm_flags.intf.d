@@ -1,0 +1,1 @@
+lib/core/epcm_flags.mli: Format

@@ -1,0 +1,1 @@
+lib/core/epcm_kernel.ml: Array Buffer Epcm_flags Epcm_manager Epcm_segment Format Fun Hashtbl Hw_cost Hw_machine Hw_page_table Hw_phys_mem Hw_tlb List Option Printf

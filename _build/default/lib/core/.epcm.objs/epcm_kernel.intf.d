@@ -1,0 +1,1 @@
+lib/core/epcm_kernel.mli: Epcm_flags Epcm_manager Epcm_segment Hw_machine Hw_page_data

@@ -1,0 +1,1 @@
+lib/core/epcm_manager.ml: Epcm_segment Format

@@ -1,0 +1,1 @@
+lib/core/epcm_manager.mli: Epcm_segment Format

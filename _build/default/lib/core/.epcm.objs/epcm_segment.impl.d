@@ -1,0 +1,1 @@
+lib/core/epcm_segment.ml: Array Epcm_flags Format List Printf

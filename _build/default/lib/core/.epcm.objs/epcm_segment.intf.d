@@ -1,0 +1,1 @@
+lib/core/epcm_segment.mli: Epcm_flags Format

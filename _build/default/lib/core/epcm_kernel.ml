@@ -1,0 +1,637 @@
+module Seg = Epcm_segment
+module Mgr = Epcm_manager
+module Flags = Epcm_flags
+module Machine = Hw_machine
+module Phys = Hw_phys_mem
+module Pt = Hw_page_table
+module Tlb = Hw_tlb
+
+type error =
+  | No_such_segment of int
+  | Dead_segment of int
+  | Page_out_of_range of { seg : int; page : int; length : int }
+  | Frame_present of { seg : int; page : int }
+  | No_frame of { seg : int; page : int }
+  | No_manager of int
+  | No_such_manager of int
+  | Binding_overlap of { seg : int; at : int; len : int }
+  | Binding_out_of_range of { seg : int; at : int; len : int }
+  | Page_size_mismatch of { src : int; dst : int }
+  | Fault_recursion of { manager : int; depth : int }
+  | Unresolved_fault of { seg : int; page : int }
+  | Initial_segment_operation
+
+exception Error of error
+
+let error_to_string = function
+  | No_such_segment s -> Printf.sprintf "no such segment %d" s
+  | Dead_segment s -> Printf.sprintf "segment %d has been destroyed" s
+  | Page_out_of_range { seg; page; length } ->
+      Printf.sprintf "page %d out of range of segment %d (length %d)" page seg length
+  | Frame_present { seg; page } ->
+      Printf.sprintf "segment %d page %d already holds a frame" seg page
+  | No_frame { seg; page } -> Printf.sprintf "segment %d page %d holds no frame" seg page
+  | No_manager s -> Printf.sprintf "segment %d has no manager" s
+  | No_such_manager m -> Printf.sprintf "no such manager %d" m
+  | Binding_overlap { seg; at; len } ->
+      Printf.sprintf "binding [%d,%d) overlaps an existing binding in segment %d" at (at + len)
+        seg
+  | Binding_out_of_range { seg; at; len } ->
+      Printf.sprintf "binding [%d,%d) exceeds a segment range (space or target %d)" at (at + len)
+        seg
+  | Page_size_mismatch { src; dst } ->
+      Printf.sprintf "page size mismatch between segments %d and %d" src dst
+  | Fault_recursion { manager; depth } ->
+      Printf.sprintf "fault recursion limit hit in manager %d at depth %d" manager depth
+  | Unresolved_fault { seg; page } ->
+      Printf.sprintf "manager returned without resolving fault at segment %d page %d" seg page
+  | Initial_segment_operation -> "operation not permitted on the initial segment"
+
+let fail e = raise (Error e)
+
+type page_attributes = {
+  pa_flags : Flags.t;
+  pa_frame : int option;
+  pa_phys_addr : int option;
+}
+
+type stats = {
+  mutable faults_missing : int;
+  mutable faults_protection : int;
+  mutable faults_cow : int;
+  mutable manager_calls : int;
+  mutable migrate_calls : int;
+  mutable migrated_pages : int;
+  mutable modify_flag_calls : int;
+  mutable get_attribute_calls : int;
+  mutable uio_reads : int;
+  mutable uio_writes : int;
+  mutable page_copies : int;
+  mutable page_zeros : int;
+  mutable touches : int;
+}
+
+type t = {
+  machine : Machine.t;
+  segments : (int, Seg.t) Hashtbl.t;
+  managers : (int, Mgr.t) Hashtbl.t;
+  mutable next_seg : int;
+  mutable next_mgr : int;
+  init_seg : int;
+  stats : stats;
+  per_manager_calls : (int, int) Hashtbl.t;
+  (* Reverse index: resolved slot -> translation-cache keys that point at
+     it, so migrating or reprotecting a slot can invalidate precisely. *)
+  cached_keys : (int * int, (int * int) list) Hashtbl.t;
+  mutable fault_depth : int;
+  max_fault_depth : int;
+}
+
+let fresh_stats () =
+  {
+    faults_missing = 0;
+    faults_protection = 0;
+    faults_cow = 0;
+    manager_calls = 0;
+    migrate_calls = 0;
+    migrated_pages = 0;
+    modify_flag_calls = 0;
+    get_attribute_calls = 0;
+    uio_reads = 0;
+    uio_writes = 0;
+    page_copies = 0;
+    page_zeros = 0;
+    touches = 0;
+  }
+
+let charge t us = Machine.charge t.machine us
+let cost t = t.machine.Machine.cost
+
+let create machine =
+  let n = Machine.n_frames machine in
+  let init =
+    Seg.make ~sid:0 ~name:"initial-frame-segment" ~page_size:(Machine.page_size machine)
+      ~pages:n
+  in
+  for i = 0 to n - 1 do
+    (Seg.page init i).Seg.frame <- Some i;
+    (Phys.frame machine.Machine.mem i).Phys.owner <- 0
+  done;
+  let segments = Hashtbl.create 64 in
+  Hashtbl.replace segments 0 init;
+  {
+    machine;
+    segments;
+    managers = Hashtbl.create 16;
+    next_seg = 1;
+    next_mgr = 1;
+    init_seg = 0;
+    stats = fresh_stats ();
+    per_manager_calls = Hashtbl.create 16;
+    cached_keys = Hashtbl.create 1024;
+    fault_depth = 0;
+    max_fault_depth = 16;
+  }
+
+let machine t = t.machine
+let stats t = t.stats
+let initial_segment t = t.init_seg
+
+let manager_calls_of t mid =
+  try Hashtbl.find t.per_manager_calls mid with Not_found -> 0
+
+let segment t sid =
+  match Hashtbl.find_opt t.segments sid with
+  | None -> fail (No_such_segment sid)
+  | Some s ->
+      if not s.Seg.alive then fail (Dead_segment sid);
+      s
+
+let segment_exists t sid =
+  match Hashtbl.find_opt t.segments sid with Some s -> s.Seg.alive | None -> false
+
+let check_range seg page count =
+  if count < 0 || page < 0 || page + count > Seg.length seg then
+    fail (Page_out_of_range { seg = seg.Seg.sid; page; length = Seg.length seg })
+
+(* ------------------------------------------------------------------ *)
+(* Managers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let register_manager t ~name ~mode ~on_fault ?(on_close = fun _ -> ())
+    ?(on_pressure = fun ~pages:_ -> 0) () =
+  let mid = t.next_mgr in
+  t.next_mgr <- t.next_mgr + 1;
+  Hashtbl.replace t.managers mid
+    { Mgr.mid; mname = name; mmode = mode; on_fault; on_close; on_pressure };
+  mid
+
+let manager t mid =
+  match Hashtbl.find_opt t.managers mid with
+  | Some m -> m
+  | None -> fail (No_such_manager mid)
+
+let set_segment_manager t sid mid =
+  let seg = segment t sid in
+  ignore (manager t mid);
+  charge t (cost t).Hw_cost.set_manager;
+  seg.Seg.manager <- Some mid
+
+(* ------------------------------------------------------------------ *)
+(* Segment lifecycle                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let create_segment t ?page_size ?manager:mgr ~name ~pages () =
+  let page_size = Option.value page_size ~default:(Machine.page_size t.machine) in
+  (match mgr with Some m -> ignore (manager t m) | None -> ());
+  let sid = t.next_seg in
+  t.next_seg <- t.next_seg + 1;
+  let seg = Seg.make ~sid ~name ~page_size ~pages in
+  seg.Seg.manager <- mgr;
+  Hashtbl.replace t.segments sid seg;
+  charge t (cost t).Hw_cost.syscall_base;
+  sid
+
+let grow_segment t sid ~pages =
+  if pages < 0 then invalid_arg "Epcm_kernel.grow_segment: negative growth";
+  let seg = segment t sid in
+  let old = seg.Seg.pages in
+  seg.Seg.pages <-
+    Array.init
+      (Array.length old + pages)
+      (fun i ->
+        if i < Array.length old then old.(i) else { Seg.frame = None; flags = Flags.empty });
+  charge t (cost t).Hw_cost.syscall_base
+
+(* ------------------------------------------------------------------ *)
+(* Translation-cache bookkeeping                                      *)
+(* ------------------------------------------------------------------ *)
+
+let record_cached_key t ~slot ~key =
+  let existing = try Hashtbl.find t.cached_keys slot with Not_found -> [] in
+  if not (List.mem key existing) then Hashtbl.replace t.cached_keys slot (key :: existing)
+
+let invalidate_slot t ~seg ~page =
+  let slot = (seg, page) in
+  (match Hashtbl.find_opt t.cached_keys slot with
+  | None -> ()
+  | Some keys ->
+      List.iter
+        (fun (space, vpn) ->
+          Tlb.invalidate t.machine.Machine.tlb ~space ~vpn;
+          Pt.remove t.machine.Machine.page_table ~space ~vpn)
+        keys;
+      Hashtbl.remove t.cached_keys slot);
+  (* The slot may also be cached under its own (seg, page) key. *)
+  Tlb.invalidate t.machine.Machine.tlb ~space:seg ~vpn:page;
+  Pt.remove t.machine.Machine.page_table ~space:seg ~vpn:page
+
+(* ------------------------------------------------------------------ *)
+(* Bindings and resolution                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bind_region t ~space ~at ~len ~target ~target_page ~cow =
+  if space = t.init_seg || target = t.init_seg then fail Initial_segment_operation;
+  let sp = segment t space and tg = segment t target in
+  if len <= 0 || at < 0 || at + len > Seg.length sp then
+    fail (Binding_out_of_range { seg = space; at; len });
+  if target_page < 0 || target_page + len > Seg.length tg then
+    fail (Binding_out_of_range { seg = target; at = target_page; len });
+  if sp.Seg.seg_page_size <> tg.Seg.seg_page_size then
+    fail (Page_size_mismatch { src = space; dst = target });
+  if Seg.bindings_overlap sp ~at ~len then fail (Binding_overlap { seg = space; at; len });
+  sp.Seg.bindings <- { Seg.at; len; target; target_page; cow } :: sp.Seg.bindings;
+  charge t (cost t).Hw_cost.bind_region
+
+(* Follow bindings to the slot that holds (or should hold) the frame for a
+   reference to [page] of [space]. Returns the owning segment, the page
+   index within it, and whether the path traversed a copy-on-write binding
+   (meaning writes need a private copy in the original space). *)
+let rec resolve_chain t ~space ~page ~depth =
+  if depth > 8 then fail (Binding_out_of_range { seg = space; at = page; len = 0 });
+  let seg = segment t space in
+  check_range seg page 0;
+  if page >= Seg.length seg then fail (Page_out_of_range { seg = space; page; length = Seg.length seg });
+  let slot = Seg.page seg page in
+  if slot.Seg.frame <> None then (space, page, false)
+  else
+    match Seg.binding_covering seg page with
+    | None -> (space, page, false)
+    | Some b ->
+        let tpage = b.Seg.target_page + (page - b.Seg.at) in
+        let oseg, opage, deeper_cow = resolve_chain t ~space:b.Seg.target ~page:tpage ~depth:(depth + 1) in
+        (oseg, opage, b.Seg.cow || deeper_cow)
+
+let resolve_slot t ~space ~page =
+  match resolve_chain t ~space ~page ~depth:0 with
+  | seg, pg, _ -> Some (seg, pg)
+  | exception Error _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* MigratePages and friends                                           *)
+(* ------------------------------------------------------------------ *)
+
+let migrate_one t ~src_seg ~dst_seg ~src_page ~dst_page =
+  let s_slot = Seg.page src_seg src_page and d_slot = Seg.page dst_seg dst_page in
+  let frame_idx =
+    match s_slot.Seg.frame with
+    | Some f -> f
+    | None -> fail (No_frame { seg = src_seg.Seg.sid; page = src_page })
+  in
+  if d_slot.Seg.frame <> None then fail (Frame_present { seg = dst_seg.Seg.sid; page = dst_page });
+  d_slot.Seg.frame <- Some frame_idx;
+  d_slot.Seg.flags <- s_slot.Seg.flags;
+  s_slot.Seg.frame <- None;
+  s_slot.Seg.flags <- Flags.empty;
+  (Phys.frame t.machine.Machine.mem frame_idx).Phys.owner <- dst_seg.Seg.sid;
+  invalidate_slot t ~seg:src_seg.Seg.sid ~page:src_page;
+  invalidate_slot t ~seg:dst_seg.Seg.sid ~page:dst_page;
+  d_slot
+
+let migrate_pages t ~src ~dst ~src_page ~dst_page ~count ?(set_flags = Flags.empty)
+    ?(clear_flags = Flags.empty) () =
+  let src_seg = segment t src and dst_seg = segment t dst in
+  if src_seg.Seg.seg_page_size <> dst_seg.Seg.seg_page_size then
+    fail (Page_size_mismatch { src; dst });
+  check_range src_seg src_page count;
+  check_range dst_seg dst_page count;
+  let c = cost t in
+  charge t
+    (c.Hw_cost.syscall_base +. c.Hw_cost.migrate_base
+    +. (float_of_int count *. c.Hw_cost.migrate_per_page));
+  for i = 0 to count - 1 do
+    let d_slot = migrate_one t ~src_seg ~dst_seg ~src_page:(src_page + i) ~dst_page:(dst_page + i) in
+    d_slot.Seg.flags <- Flags.diff (Flags.union d_slot.Seg.flags set_flags) clear_flags
+  done;
+  t.stats.migrate_calls <- t.stats.migrate_calls + 1;
+  t.stats.migrated_pages <- t.stats.migrated_pages + count;
+  Machine.trace_emit t.machine ~tag:"step4.migrate"
+    (Printf.sprintf "%d page(s) seg %d[%d..] -> seg %d[%d..]" count src src_page dst dst_page)
+
+let modify_page_flags t ~seg ~page ~count ?(set_flags = Flags.empty)
+    ?(clear_flags = Flags.empty) () =
+  let s = segment t seg in
+  check_range s page count;
+  let c = cost t in
+  charge t
+    (c.Hw_cost.syscall_base +. c.Hw_cost.modify_flags_base
+    +. (float_of_int count *. c.Hw_cost.modify_flags_per_page));
+  let protection = Flags.union Flags.no_access Flags.read_only in
+  for i = 0 to count - 1 do
+    let slot = Seg.page s (page + i) in
+    let before = slot.Seg.flags in
+    slot.Seg.flags <- Flags.diff (Flags.union before set_flags) clear_flags;
+    if Flags.intersects (Flags.union set_flags clear_flags) protection then begin
+      invalidate_slot t ~seg ~page:(page + i);
+      charge t c.Hw_cost.tlb_flush_page
+    end
+  done;
+  t.stats.modify_flag_calls <- t.stats.modify_flag_calls + 1
+
+let get_page_attributes t ~seg ~page ~count =
+  let s = segment t seg in
+  check_range s page count;
+  let c = cost t in
+  charge t
+    (c.Hw_cost.syscall_base +. c.Hw_cost.get_attributes_base
+    +. (float_of_int count *. c.Hw_cost.get_attributes_per_page));
+  t.stats.get_attribute_calls <- t.stats.get_attribute_calls + 1;
+  Array.init count (fun i ->
+      let slot = Seg.page s (page + i) in
+      {
+        pa_flags = slot.Seg.flags;
+        pa_frame = slot.Seg.frame;
+        pa_phys_addr =
+          Option.map (fun f -> (Phys.frame t.machine.Machine.mem f).Phys.addr) slot.Seg.frame;
+      })
+
+(* Return a frame to the initial segment: slot = first free initial slot at
+   or cyclically after the frame's own index (identity at boot, best-effort
+   afterwards). *)
+let return_frame_to_initial t frame_idx =
+  let init = segment t t.init_seg in
+  let n = Seg.length init in
+  let rec find i tried =
+    if tried >= n then fail (Frame_present { seg = t.init_seg; page = frame_idx })
+    else if (Seg.page init i).Seg.frame = None then i
+    else find ((i + 1) mod n) (tried + 1)
+  in
+  let slot_idx = find (frame_idx mod n) 0 in
+  let slot = Seg.page init slot_idx in
+  slot.Seg.frame <- Some frame_idx;
+  slot.Seg.flags <- Flags.empty;
+  (Phys.frame t.machine.Machine.mem frame_idx).Phys.owner <- t.init_seg
+
+let release_frames t ~seg ~page ~count =
+  if seg = t.init_seg then fail Initial_segment_operation;
+  let s = segment t seg in
+  check_range s page count;
+  let c = cost t in
+  charge t
+    (c.Hw_cost.syscall_base +. c.Hw_cost.migrate_base
+    +. (float_of_int count *. c.Hw_cost.migrate_per_page));
+  let moved = ref 0 in
+  for i = 0 to count - 1 do
+    let slot = Seg.page s (page + i) in
+    match slot.Seg.frame with
+    | None -> ()
+    | Some f ->
+        slot.Seg.frame <- None;
+        slot.Seg.flags <- Flags.empty;
+        invalidate_slot t ~seg ~page:(page + i);
+        return_frame_to_initial t f;
+        incr moved
+  done;
+  t.stats.migrate_calls <- t.stats.migrate_calls + 1;
+  t.stats.migrated_pages <- t.stats.migrated_pages + !moved
+
+let zero_pages t ~seg ~page ~count =
+  let s = segment t seg in
+  check_range s page count;
+  let c = cost t in
+  charge t (c.Hw_cost.syscall_base +. (float_of_int count *. c.Hw_cost.zero_page));
+  for i = 0 to count - 1 do
+    let slot = Seg.page s (page + i) in
+    match slot.Seg.frame with
+    | None -> fail (No_frame { seg; page = page + i })
+    | Some f ->
+        Phys.zero_frame t.machine.Machine.mem f;
+        t.stats.page_zeros <- t.stats.page_zeros + 1
+  done
+
+let destroy_segment t sid =
+  if sid = t.init_seg then fail Initial_segment_operation;
+  let s = segment t sid in
+  (match s.Seg.manager with
+  | Some mid ->
+      let m = manager t mid in
+      t.stats.manager_calls <- t.stats.manager_calls + 1;
+      Hashtbl.replace t.per_manager_calls mid (manager_calls_of t mid + 1);
+      m.Mgr.on_close sid
+  | None -> ());
+  (* Frames the manager did not reclaim go back to the initial segment so
+     no frame is ever lost. *)
+  Array.iteri
+    (fun i slot ->
+      match slot.Seg.frame with
+      | None -> ()
+      | Some f ->
+          slot.Seg.frame <- None;
+          slot.Seg.flags <- Flags.empty;
+          invalidate_slot t ~seg:sid ~page:i;
+          return_frame_to_initial t f)
+    s.Seg.pages;
+  s.Seg.alive <- false;
+  Tlb.invalidate_space t.machine.Machine.tlb ~space:sid;
+  Pt.remove_space t.machine.Machine.page_table ~space:sid;
+  charge t (cost t).Hw_cost.syscall_base
+
+(* ------------------------------------------------------------------ *)
+(* Fault delivery (Figure 2)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let count_fault t (kind : Mgr.fault_kind) =
+  match kind with
+  | Mgr.Missing -> t.stats.faults_missing <- t.stats.faults_missing + 1
+  | Mgr.Protection -> t.stats.faults_protection <- t.stats.faults_protection + 1
+  | Mgr.Cow_write -> t.stats.faults_cow <- t.stats.faults_cow + 1
+
+let deliver_fault t (fault : Mgr.fault) =
+  let seg = segment t fault.Mgr.f_seg in
+  let mid = match seg.Seg.manager with Some m -> m | None -> fail (No_manager fault.Mgr.f_seg) in
+  let m = manager t mid in
+  if t.fault_depth >= t.max_fault_depth then
+    fail (Fault_recursion { manager = mid; depth = t.fault_depth });
+  t.fault_depth <- t.fault_depth + 1;
+  Fun.protect
+    ~finally:(fun () -> t.fault_depth <- t.fault_depth - 1)
+    (fun () ->
+      count_fault t fault.Mgr.f_kind;
+      t.stats.manager_calls <- t.stats.manager_calls + 1;
+      Hashtbl.replace t.per_manager_calls mid (manager_calls_of t mid + 1);
+      let c = cost t in
+      charge t (c.Hw_cost.trap_entry +. c.Hw_cost.fault_decode);
+      Machine.trace_emit t.machine ~tag:"step1.fault_to_manager"
+        (Printf.sprintf "%s -> manager %S" (Format.asprintf "%a" Mgr.pp_fault fault) m.Mgr.mname);
+      (match m.Mgr.mmode with
+      | `In_process ->
+          charge t c.Hw_cost.upcall_deliver;
+          m.Mgr.on_fault fault;
+          charge t c.Hw_cost.resume_direct
+      | `Separate_process ->
+          charge t (c.Hw_cost.ipc_send +. c.Hw_cost.context_switch +. c.Hw_cost.manager_server_dispatch);
+          m.Mgr.on_fault fault;
+          charge t
+            (c.Hw_cost.ipc_reply +. c.Hw_cost.context_switch +. c.Hw_cost.resume_via_kernel
+           +. c.Hw_cost.trap_exit));
+      Machine.trace_emit t.machine ~tag:"step5.resume"
+        (Printf.sprintf "seg %d page %d" fault.Mgr.f_seg fault.Mgr.f_page))
+
+(* Ensure a frame with suitable protection is present at the slot that
+   backs ([space], [page]); fault to managers as many times as needed
+   (missing, then protection, then cow can each fire once). *)
+let rec ensure_resident t ~space ~page ~(access : Mgr.access) ~attempts =
+  if attempts > 6 then fail (Unresolved_fault { seg = space; page });
+  let oseg_id, opage, via_cow = resolve_chain t ~space ~page ~depth:0 in
+  let oseg = segment t oseg_id in
+  let slot = Seg.page oseg opage in
+  match slot.Seg.frame with
+  | None ->
+      (* Missing: fault to the manager of the owning segment. *)
+      deliver_fault t
+        { Mgr.f_seg = oseg_id; f_page = opage; f_access = access; f_kind = Mgr.Missing;
+          f_space = space };
+      let slot' = Seg.page (segment t oseg_id) opage in
+      if slot'.Seg.frame = None then fail (Unresolved_fault { seg = oseg_id; page = opage });
+      ensure_resident t ~space ~page ~access ~attempts:(attempts + 1)
+  | Some frame_idx ->
+      let flags = slot.Seg.flags in
+      if Flags.mem flags Flags.no_access then begin
+        deliver_fault t
+          { Mgr.f_seg = oseg_id; f_page = opage; f_access = access; f_kind = Mgr.Protection;
+            f_space = space };
+        let slot' = Seg.page (segment t oseg_id) opage in
+        if Flags.mem slot'.Seg.flags Flags.no_access then
+          fail (Unresolved_fault { seg = oseg_id; page = opage });
+        ensure_resident t ~space ~page ~access ~attempts:(attempts + 1)
+      end
+      else if access = Mgr.Write && via_cow && oseg_id <> space then begin
+        (* Copy-on-write: the space's manager allocates a private page at
+           ([space], [page]); the kernel then copies the source data. *)
+        deliver_fault t
+          { Mgr.f_seg = space; f_page = page; f_access = access; f_kind = Mgr.Cow_write;
+            f_space = space };
+        let sp_slot = Seg.page (segment t space) page in
+        (match sp_slot.Seg.frame with
+        | None -> fail (Unresolved_fault { seg = space; page })
+        | Some private_frame ->
+            Phys.copy_frame t.machine.Machine.mem ~src:frame_idx ~dst:private_frame;
+            t.stats.page_copies <- t.stats.page_copies + 1;
+            charge t (cost t).Hw_cost.copy_page;
+            sp_slot.Seg.flags <- Flags.union sp_slot.Seg.flags Flags.dirty);
+        ensure_resident t ~space ~page ~access ~attempts:(attempts + 1)
+      end
+      else if access = Mgr.Write && Flags.mem flags Flags.read_only then begin
+        deliver_fault t
+          { Mgr.f_seg = oseg_id; f_page = opage; f_access = access; f_kind = Mgr.Protection;
+            f_space = space };
+        let slot' = Seg.page (segment t oseg_id) opage in
+        if Flags.mem slot'.Seg.flags Flags.read_only then
+          fail (Unresolved_fault { seg = oseg_id; page = opage });
+        ensure_resident t ~space ~page ~access ~attempts:(attempts + 1)
+      end
+      else begin
+        (* Mark referenced / dirty as the hardware would. *)
+        slot.Seg.flags <- Flags.union slot.Seg.flags Flags.referenced;
+        if access = Mgr.Write then slot.Seg.flags <- Flags.union slot.Seg.flags Flags.dirty;
+        (frame_idx, oseg_id, opage, flags, via_cow)
+      end
+
+and resolved_prot ~flags ~via_cow =
+  {
+    Pt.readable = not (Flags.mem flags Flags.no_access);
+    writable =
+      (not (Flags.mem flags Flags.no_access))
+      && (not (Flags.mem flags Flags.read_only))
+      && not via_cow;
+  }
+
+let touch t ~space ~page ~access =
+  t.stats.touches <- t.stats.touches + 1;
+  let c = cost t in
+  let tlb = t.machine.Machine.tlb and pt = t.machine.Machine.page_table in
+  let prot_ok (p : Pt.prot) =
+    match access with Mgr.Read -> p.Pt.readable | Mgr.Write -> p.Pt.writable
+  in
+  match Pt.lookup pt ~space ~vpn:page with
+  | Some (frame, prot) when prot_ok prot ->
+      (* Model TLB behaviour on the side: hit is free, miss costs a software
+         refill from the mapping hash. *)
+      (match Tlb.lookup tlb ~space ~vpn:page with
+      | Some _ -> ()
+      | None ->
+          charge t c.Hw_cost.tlb_refill;
+          Tlb.fill tlb ~space ~vpn:page ~frame)
+  | Some _ | None ->
+      (* Mapping-hash miss (or insufficient protection): walk segments. *)
+      charge t c.Hw_cost.segment_walk;
+      let frame, oseg_id, opage, flags, via_cow = ensure_resident t ~space ~page ~access ~attempts:0 in
+      let prot = resolved_prot ~flags ~via_cow in
+      Pt.insert pt ~space ~vpn:page ~frame ~prot;
+      Tlb.fill tlb ~space ~vpn:page ~frame;
+      record_cached_key t ~slot:(oseg_id, opage) ~key:(space, page);
+      charge t c.Hw_cost.pte_update
+
+(* ------------------------------------------------------------------ *)
+(* UIO block interface                                                *)
+(* ------------------------------------------------------------------ *)
+
+let uio_page_data t seg page =
+  let s = segment t seg in
+  let slot = Seg.page s page in
+  match slot.Seg.frame with
+  | Some f -> (Phys.frame t.machine.Machine.mem f, slot)
+  | None -> fail (No_frame { seg; page })
+
+let uio_ensure t ~seg ~page ~(access : Mgr.access) =
+  let s = segment t seg in
+  check_range s page 1;
+  let slot = Seg.page s page in
+  if slot.Seg.frame = None then
+    deliver_fault t
+      { Mgr.f_seg = seg; f_page = page; f_access = access; f_kind = Mgr.Missing; f_space = seg };
+  let slot = Seg.page (segment t seg) page in
+  if slot.Seg.frame = None then fail (Unresolved_fault { seg; page })
+
+let uio_read t ~seg ~page =
+  let c = cost t in
+  charge t (c.Hw_cost.syscall_base +. c.Hw_cost.uio_read_overhead);
+  uio_ensure t ~seg ~page ~access:Mgr.Read;
+  charge t c.Hw_cost.copy_page;
+  t.stats.uio_reads <- t.stats.uio_reads + 1;
+  t.stats.page_copies <- t.stats.page_copies + 1;
+  let frame, slot = uio_page_data t seg page in
+  slot.Seg.flags <- Flags.union slot.Seg.flags Flags.referenced;
+  frame.Phys.data
+
+let uio_write t ~seg ~page data =
+  let c = cost t in
+  charge t (c.Hw_cost.syscall_base +. c.Hw_cost.uio_write_overhead);
+  uio_ensure t ~seg ~page ~access:Mgr.Write;
+  charge t c.Hw_cost.copy_page;
+  t.stats.uio_writes <- t.stats.uio_writes + 1;
+  t.stats.page_copies <- t.stats.page_copies + 1;
+  let frame, slot = uio_page_data t seg page in
+  frame.Phys.data <- data;
+  slot.Seg.flags <- Flags.union slot.Seg.flags (Flags.union Flags.dirty Flags.referenced)
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let frame_owner_audit t =
+  Hashtbl.fold
+    (fun sid seg acc -> if seg.Seg.alive then (sid, Seg.resident_pages seg) :: acc else acc)
+    t.segments []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let render_address_space t sid =
+  let seg = segment t sid in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "Virtual Address Space Segment %d (%S), %d pages\n" sid seg.Seg.sname
+       (Seg.length seg));
+  let bindings = List.sort (fun a b -> compare a.Seg.at b.Seg.at) seg.Seg.bindings in
+  List.iter
+    (fun b ->
+      let tgt = segment t b.Seg.target in
+      Buffer.add_string buf
+        (Printf.sprintf "  pages [%5d..%5d) --%s--> segment %d (%S) pages [%d..%d)\n" b.Seg.at
+           (b.Seg.at + b.Seg.len)
+           (if b.Seg.cow then "cow" else "bind")
+           b.Seg.target tgt.Seg.sname b.Seg.target_page
+           (b.Seg.target_page + b.Seg.len)))
+    bindings;
+  Buffer.add_string buf
+    (Printf.sprintf "  private resident pages: %d\n" (Seg.resident_pages seg));
+  Buffer.contents buf

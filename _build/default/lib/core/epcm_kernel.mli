@@ -1,0 +1,202 @@
+(** The V++ kernel virtual-memory system with external page-cache
+    management (paper §2.1).
+
+    The kernel provides segments, bound regions and page-frame migration —
+    and {e nothing else}: no page reclamation, no writeback, no replacement
+    policy. Those live in process-level managers. The kernel's only jobs
+    are to maintain hardware translations, to forward fault events to the
+    manager designated for each segment, and to move page frames between
+    segments on request.
+
+    Timing: operations charge the machine's {!Hw_cost} table step by step
+    when called from inside a simulation process. Called outside a process
+    (plain unit tests), they perform the same state transitions with no
+    time passing. *)
+
+type error =
+  | No_such_segment of int
+  | Dead_segment of int
+  | Page_out_of_range of { seg : int; page : int; length : int }
+  | Frame_present of { seg : int; page : int }
+  | No_frame of { seg : int; page : int }
+  | No_manager of int  (** Segment has no manager to deliver a fault to. *)
+  | No_such_manager of int
+  | Binding_overlap of { seg : int; at : int; len : int }
+  | Binding_out_of_range of { seg : int; at : int; len : int }
+  | Page_size_mismatch of { src : int; dst : int }
+  | Fault_recursion of { manager : int; depth : int }
+  | Unresolved_fault of { seg : int; page : int }
+      (** A manager's fault handler returned without mapping a frame. *)
+  | Initial_segment_operation
+
+exception Error of error
+
+val error_to_string : error -> string
+
+type page_attributes = {
+  pa_flags : Epcm_flags.t;
+  pa_frame : int option;
+  pa_phys_addr : int option;  (** Physical address — the paper exports this
+                                  for coloring / placement control. *)
+}
+
+type stats = {
+  mutable faults_missing : int;
+  mutable faults_protection : int;
+  mutable faults_cow : int;
+  mutable manager_calls : int;
+  mutable migrate_calls : int;
+  mutable migrated_pages : int;
+  mutable modify_flag_calls : int;
+  mutable get_attribute_calls : int;
+  mutable uio_reads : int;
+  mutable uio_writes : int;
+  mutable page_copies : int;
+  mutable page_zeros : int;
+  mutable touches : int;
+}
+
+type t
+
+val create : Hw_machine.t -> t
+val machine : t -> Hw_machine.t
+val stats : t -> stats
+val manager_calls_of : t -> Epcm_manager.id -> int
+
+(** {2 Boot-time state} *)
+
+val initial_segment : t -> Epcm_segment.id
+(** The well-known segment created at initialisation holding every page
+    frame in physical-address order (paper §2.1). The system page cache
+    manager allocates from it with [MigratePages]. It cannot be destroyed,
+    bound, or given away. *)
+
+(** {2 Managers} *)
+
+val register_manager :
+  t ->
+  name:string ->
+  mode:Epcm_manager.mode ->
+  on_fault:(Epcm_manager.fault -> unit) ->
+  ?on_close:(Epcm_segment.id -> unit) ->
+  ?on_pressure:(pages:int -> int) ->
+  unit ->
+  Epcm_manager.id
+
+val manager : t -> Epcm_manager.id -> Epcm_manager.t
+
+val set_segment_manager : t -> Epcm_segment.id -> Epcm_manager.id -> unit
+(** The [SetSegmentManager] kernel operation. *)
+
+(** {2 Segments} *)
+
+val create_segment :
+  t ->
+  ?page_size:int ->
+  ?manager:Epcm_manager.id ->
+  name:string ->
+  pages:int ->
+  unit ->
+  Epcm_segment.id
+(** [page_size] defaults to the machine page size; other values model
+    multiple-page-size hardware (Alpha). *)
+
+val destroy_segment : t -> Epcm_segment.id -> unit
+(** Notifies the manager ([on_close]) first; any frames still resident
+    afterwards are returned to the initial segment. *)
+
+val grow_segment : t -> Epcm_segment.id -> pages:int -> unit
+val segment : t -> Epcm_segment.id -> Epcm_segment.t
+val segment_exists : t -> Epcm_segment.id -> bool
+
+val bind_region :
+  t ->
+  space:Epcm_segment.id ->
+  at:int ->
+  len:int ->
+  target:Epcm_segment.id ->
+  target_page:int ->
+  cow:bool ->
+  unit
+(** Bind [len] pages of [target] starting at [target_page] into [space] at
+    [at]. Regions bound into one segment must not overlap. A reference to a
+    covered page forwards to the target unless the space has since gained a
+    private page there (which is how completed copy-on-write looks). *)
+
+(** {2 The page-cache management operations} *)
+
+val migrate_pages :
+  t ->
+  src:Epcm_segment.id ->
+  dst:Epcm_segment.id ->
+  src_page:int ->
+  dst_page:int ->
+  count:int ->
+  ?set_flags:Epcm_flags.t ->
+  ?clear_flags:Epcm_flags.t ->
+  unit ->
+  unit
+(** [MigratePages]: move page frames (and their contents and flags) from
+    [src] to [dst], applying the set/clear masks. Destination slots must be
+    empty; source slots must be resident. All translations for both slots
+    are invalidated. *)
+
+val modify_page_flags :
+  t ->
+  seg:Epcm_segment.id ->
+  page:int ->
+  count:int ->
+  ?set_flags:Epcm_flags.t ->
+  ?clear_flags:Epcm_flags.t ->
+  unit ->
+  unit
+(** [ModifyPageFlags] — unlike Unix [mprotect], this can also set and clear
+    [dirty] and [referenced]. Changing protection flags flushes affected
+    translations. *)
+
+val get_page_attributes :
+  t -> seg:Epcm_segment.id -> page:int -> count:int -> page_attributes array
+(** [GetPageAttributes]: flags plus physical frame address per page. *)
+
+val release_frames : t -> seg:Epcm_segment.id -> page:int -> count:int -> unit
+(** Return resident frames in the range to the initial segment (frame [f]
+    goes to the first free initial slot at or cyclically after index [f]).
+    Non-resident pages in the range are skipped. *)
+
+val zero_pages : t -> seg:Epcm_segment.id -> page:int -> count:int -> unit
+(** Explicit zero-fill (charged per page). V++ does not zero on allocation
+    — the paper credits this for most of its fault-time win — so zeroing
+    is a separate operation a manager uses only when handing frames across
+    protection domains. *)
+
+(** {2 Memory references and file access} *)
+
+val touch : t -> space:Epcm_segment.id -> page:int -> access:Epcm_manager.access -> unit
+(** One memory reference: TLB, then mapping hash, then segment walk, then —
+    if the page is missing or protected — the full fault protocol of
+    Figure 2 against the responsible manager. Returns when the reference
+    has been satisfied. *)
+
+val uio_read : t -> seg:Epcm_segment.id -> page:int -> Hw_page_data.t
+(** Block read from a cached file segment via the UIO interface: faults the
+    page in through the manager if needed, then copies out one block
+    (= one page). *)
+
+val uio_write : t -> seg:Epcm_segment.id -> page:int -> Hw_page_data.t -> unit
+(** Block write: faults/allocates the page via the manager if needed, then
+    copies the data in and marks the page dirty. *)
+
+(** {2 Introspection for tests and the Figure 1/2 reproduction} *)
+
+val resolve_slot : t -> space:Epcm_segment.id -> page:int -> (Epcm_segment.id * int) option
+(** Follow bindings from ([space], [page]) to the slot that holds (or would
+    hold) the frame, without faulting or charging time. [None] if the page
+    is unmapped and unbound. *)
+
+val frame_owner_audit : t -> (int * int) list
+(** For the conservation invariant: (segment id, resident frames) for all
+    live segments. The sum over all segments always equals the number of
+    physical frames. *)
+
+val render_address_space : t -> Epcm_segment.id -> string
+(** Figure 1-style dump of a composed address space. *)

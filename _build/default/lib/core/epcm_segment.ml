@@ -1,0 +1,64 @@
+type id = int
+
+type page_state = {
+  mutable frame : int option;
+  mutable flags : Epcm_flags.t;
+}
+
+type binding = {
+  at : int;
+  len : int;
+  target : id;
+  target_page : int;
+  cow : bool;
+}
+
+type t = {
+  sid : id;
+  sname : string;
+  seg_page_size : int;
+  mutable pages : page_state array;
+  mutable manager : int option;
+  mutable bindings : binding list;
+  mutable alive : bool;
+}
+
+let fresh_page () = { frame = None; flags = Epcm_flags.empty }
+
+let make ~sid ~name ~page_size ~pages =
+  if pages < 0 then invalid_arg "Epcm_segment.make: negative size";
+  if page_size <= 0 then invalid_arg "Epcm_segment.make: page_size must be positive";
+  {
+    sid;
+    sname = name;
+    seg_page_size = page_size;
+    pages = Array.init pages (fun _ -> fresh_page ());
+    manager = None;
+    bindings = [];
+    alive = true;
+  }
+
+let length t = Array.length t.pages
+let in_range t p = p >= 0 && p < Array.length t.pages
+
+let page t p =
+  if not (in_range t p) then
+    invalid_arg (Printf.sprintf "Epcm_segment.page: page %d out of range of segment %d" p t.sid);
+  t.pages.(p)
+
+let binding_covering t p = List.find_opt (fun b -> p >= b.at && p < b.at + b.len) t.bindings
+
+let bindings_overlap t ~at ~len =
+  List.exists (fun b -> at < b.at + b.len && b.at < at + len) t.bindings
+
+let resident_pages t =
+  Array.fold_left (fun acc p -> if p.frame = None then acc else acc + 1) 0 t.pages
+
+let frames t =
+  Array.to_list t.pages |> List.filter_map (fun p -> p.frame)
+
+let pp ppf t =
+  Format.fprintf ppf "seg %d %S: %d pages, %d resident, manager=%s, %d bindings" t.sid t.sname
+    (length t) (resident_pages t)
+    (match t.manager with None -> "none" | Some m -> string_of_int m)
+    (List.length t.bindings)

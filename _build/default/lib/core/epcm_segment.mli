@@ -1,0 +1,55 @@
+(** Segments and bound regions (paper §2.1, Figure 1).
+
+    A segment is a variable-size range of zero or more pages. Program
+    address spaces are themselves segments, composed by {e binding} regions
+    of other segments (code, data, stack) into them; a reference to an
+    address covered by a bound region is effectively a reference to the
+    corresponding page of the bound segment. A binding may be copy-on-write,
+    in which case pages are effectively bound to the source until modified.
+
+    This module is the passive data structure; all mutation with hardware
+    side effects (mappings, migration) goes through {!Epcm_kernel}. *)
+
+type id = int
+
+type page_state = {
+  mutable frame : int option;  (** Physical frame mapped here, if any. *)
+  mutable flags : Epcm_flags.t;
+}
+
+type binding = {
+  at : int;  (** First page of the bound region in the composing segment. *)
+  len : int;  (** Pages. *)
+  target : id;  (** Bound segment. *)
+  target_page : int;  (** First corresponding page in [target]. *)
+  cow : bool;
+}
+
+type t = {
+  sid : id;
+  sname : string;
+  seg_page_size : int;
+  mutable pages : page_state array;
+  mutable manager : int option;  (** Manager id, see {!Epcm_manager}. *)
+  mutable bindings : binding list;  (** Regions bound into this segment. *)
+  mutable alive : bool;
+}
+
+val make : sid:id -> name:string -> page_size:int -> pages:int -> t
+val length : t -> int
+val in_range : t -> int -> bool
+val page : t -> int -> page_state
+(** Raises [Invalid_argument] when out of range. *)
+
+val binding_covering : t -> int -> binding option
+(** The binding whose region covers the given page, if any. *)
+
+val bindings_overlap : t -> at:int -> len:int -> bool
+val resident_pages : t -> int
+(** Pages with a frame mapped. *)
+
+val frames : t -> int list
+(** All frames mapped in this segment, ascending page order. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: id, name, size, residency, manager. *)

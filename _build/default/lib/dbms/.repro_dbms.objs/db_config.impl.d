@@ -1,0 +1,1 @@
+lib/dbms/db_config.ml:

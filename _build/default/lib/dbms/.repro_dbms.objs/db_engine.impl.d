@@ -1,0 +1,1 @@
+lib/dbms/db_engine.ml: Array Buffer Db_btree Db_config Db_locks Epcm_kernel Epcm_manager Epcm_segment Hw_disk Hw_machine List Mgr_dbms Printf Sim_engine Sim_rng Sim_stats Sim_sync String

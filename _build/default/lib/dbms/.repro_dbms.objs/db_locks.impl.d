@@ -1,0 +1,1 @@
+lib/dbms/db_locks.ml: Format Hashtbl List Option Queue Sim_engine

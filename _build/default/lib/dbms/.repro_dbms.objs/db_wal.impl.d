@@ -1,0 +1,1 @@
+lib/dbms/db_wal.ml: Epcm_segment Hashtbl Hw_disk

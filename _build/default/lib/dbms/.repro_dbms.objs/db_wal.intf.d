@@ -1,0 +1,1 @@
+lib/dbms/db_wal.mli: Epcm_segment Hw_disk

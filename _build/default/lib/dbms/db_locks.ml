@@ -1,0 +1,150 @@
+type mode = IS | IX | S | X
+
+type resource = Database | Relation of int | Page of int * int
+
+type txn = int
+
+let compatible a b =
+  match (a, b) with
+  | IS, (IS | IX | S) | (IX | S), IS -> true
+  | IX, IX | S, S -> true
+  | IS, X | X, IS | IX, (S | X) | (S | X), IX | S, X | X, (S | X) -> false
+
+let covers ~held ~wanted =
+  match (held, wanted) with
+  | X, _ -> true
+  | S, (S | IS) -> true
+  | IX, (IX | IS) -> true
+  | IS, IS -> true
+  | (S | IX | IS), _ -> false
+
+type waiter = { w_txn : txn; w_mode : mode; w_resume : unit -> unit }
+
+type node = {
+  mutable granted : (txn * mode) list;
+  waiters : waiter Queue.t;
+}
+
+type t = {
+  nodes : (resource, node) Hashtbl.t;
+  by_txn : (txn, resource list) Hashtbl.t;
+  mutable blocked : int;
+  mutable total_blocked : int;
+}
+
+let create () =
+  { nodes = Hashtbl.create 256; by_txn = Hashtbl.create 64; blocked = 0; total_blocked = 0 }
+
+let node t r =
+  match Hashtbl.find_opt t.nodes r with
+  | Some n -> n
+  | None ->
+      let n = { granted = []; waiters = Queue.create () } in
+      Hashtbl.replace t.nodes r n;
+      n
+
+let mode_of t ~txn r =
+  List.assoc_opt txn (node t r).granted
+
+let grantable node ~txn ~mode =
+  List.for_all (fun (holder, m) -> holder = txn || compatible m mode) node.granted
+
+let record t ~txn r =
+  let existing = try Hashtbl.find t.by_txn txn with Not_found -> [] in
+  Hashtbl.replace t.by_txn txn (r :: existing)
+
+let acquire t ~txn r mode =
+  let n = node t r in
+  match mode_of t ~txn r with
+  | Some held when covers ~held ~wanted:mode -> ()
+  | Some held ->
+      invalid_arg
+        (Format.asprintf "Db_locks.acquire: upgrade %a -> %a unsupported"
+           (fun ppf -> function
+             | IS -> Format.pp_print_string ppf "IS"
+             | IX -> Format.pp_print_string ppf "IX"
+             | S -> Format.pp_print_string ppf "S"
+             | X -> Format.pp_print_string ppf "X")
+           held
+           (fun ppf -> function
+             | IS -> Format.pp_print_string ppf "IS"
+             | IX -> Format.pp_print_string ppf "IX"
+             | S -> Format.pp_print_string ppf "S"
+             | X -> Format.pp_print_string ppf "X")
+           mode)
+  | None ->
+      if Queue.is_empty n.waiters && grantable n ~txn ~mode then begin
+        n.granted <- (txn, mode) :: n.granted;
+        record t ~txn r
+      end
+      else begin
+        t.blocked <- t.blocked + 1;
+        t.total_blocked <- t.total_blocked + 1;
+        Sim_engine.suspend (fun resume ->
+            Queue.add { w_txn = txn; w_mode = mode; w_resume = (fun () -> resume ()) } n.waiters);
+        (* We are resumed only once the lock has been granted on our
+           behalf by [wake]. *)
+        record t ~txn r
+      end
+
+let try_acquire t ~txn r mode =
+  let n = node t r in
+  match mode_of t ~txn r with
+  | Some held when covers ~held ~wanted:mode -> true
+  | Some _ -> false
+  | None ->
+      if Queue.is_empty n.waiters && grantable n ~txn ~mode then begin
+        n.granted <- (txn, mode) :: n.granted;
+        record t ~txn r;
+        true
+      end
+      else false
+
+(* Grant from the head of the queue while compatible (FIFO, no overtaking). *)
+let wake t n =
+  let continue_ = ref true in
+  while !continue_ do
+    match Queue.peek_opt n.waiters with
+    | Some w when grantable n ~txn:w.w_txn ~mode:w.w_mode ->
+        ignore (Queue.pop n.waiters);
+        n.granted <- (w.w_txn, w.w_mode) :: n.granted;
+        t.blocked <- t.blocked - 1;
+        w.w_resume ()
+    | Some _ | None -> continue_ := false
+  done
+
+let release_all t ~txn =
+  match Hashtbl.find_opt t.by_txn txn with
+  | None -> ()
+  | Some resources ->
+      Hashtbl.remove t.by_txn txn;
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt t.nodes r with
+          | None -> ()
+          | Some n ->
+              n.granted <- List.filter (fun (holder, _) -> holder <> txn) n.granted;
+              wake t n)
+        (List.sort_uniq compare resources)
+
+let held t ~txn =
+  match Hashtbl.find_opt t.by_txn txn with
+  | None -> []
+  | Some resources ->
+      List.filter_map
+        (fun r -> Option.map (fun m -> (r, m)) (mode_of t ~txn r))
+        (List.sort_uniq compare resources)
+
+let waiting t = t.blocked
+let total_blocked t = t.total_blocked
+
+let pp_mode ppf = function
+  | IS -> Format.pp_print_string ppf "IS"
+  | IX -> Format.pp_print_string ppf "IX"
+  | S -> Format.pp_print_string ppf "S"
+  | X -> Format.pp_print_string ppf "X"
+
+let pp_resource ppf = function
+  | Database -> Format.pp_print_string ppf "db"
+  | Relation r -> Format.fprintf ppf "rel(%d)" r
+  | Page (r, p) -> Format.fprintf ppf "page(%d,%d)" r p

@@ -1,0 +1,52 @@
+(** Hierarchical lock manager (granular locking à la Gray): database →
+    relation → page, with intention modes.
+
+    Compatibility:
+    {v
+            IS   IX   S    X
+       IS   ok   ok   ok   -
+       IX   ok   ok   -    -
+       S    ok   -    ok   -
+       X    -    -    -    -
+    v}
+
+    Waiters are served FIFO. Callers avoid deadlock by acquiring resources
+    in a fixed global order (database, then relations by id, then pages by
+    (relation, page)) — which the transaction code in {!Db_engine} does.
+
+    Blocking acquisition must run inside a simulation process. *)
+
+type mode = IS | IX | S | X
+
+type resource =
+  | Database
+  | Relation of int
+  | Page of int * int  (** (relation, page) *)
+
+type txn = int
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> txn:txn -> resource -> mode -> unit
+(** Blocks until granted. Re-acquiring a mode already held (or implied:
+    X ⊇ S ⊇ IS, X ⊇ IX ⊇ IS) is a no-op. Upgrades are not supported and
+    raise [Invalid_argument]. *)
+
+val try_acquire : t -> txn:txn -> resource -> mode -> bool
+
+val release_all : t -> txn:txn -> unit
+(** Release everything the transaction holds, waking eligible waiters. *)
+
+val held : t -> txn:txn -> (resource * mode) list
+val waiting : t -> int
+(** Transactions currently blocked. *)
+
+val total_blocked : t -> int
+(** Cumulative count of acquisitions that had to wait. *)
+
+val compatible : mode -> mode -> bool
+val covers : held:mode -> wanted:mode -> bool
+val pp_mode : Format.formatter -> mode -> unit
+val pp_resource : Format.formatter -> resource -> unit

@@ -1,0 +1,62 @@
+type lsn = int
+
+type t = {
+  disk : Hw_disk.t;
+  record_bytes : int;
+  mutable next_lsn : lsn;
+  mutable flushed : lsn;
+  mutable flushes : int;
+  mutable violations : int;
+  page_lsns : (Epcm_segment.id * int, lsn) Hashtbl.t;
+}
+
+let create disk ?(record_bytes = 256) () =
+  {
+    disk;
+    record_bytes;
+    next_lsn = 0;
+    flushed = 0;
+    flushes = 0;
+    violations = 0;
+    page_lsns = Hashtbl.create 256;
+  }
+
+let append t =
+  t.next_lsn <- t.next_lsn + 1;
+  t.next_lsn
+
+let note_page_write t ~seg ~page ~lsn = Hashtbl.replace t.page_lsns (seg, page) lsn
+let page_lsn t ~seg ~page = Hashtbl.find_opt t.page_lsns (seg, page)
+
+let flush_to t ~lsn =
+  if lsn > t.flushed then begin
+    let pending = min lsn t.next_lsn - t.flushed in
+    (* Group commit: every pending record rides one transfer. *)
+    Hw_disk.write t.disk ~bytes:(max t.record_bytes (pending * t.record_bytes));
+    t.flushed <- min lsn t.next_lsn;
+    t.flushes <- t.flushes + 1
+  end
+
+let commit t ~lsn = flush_to t ~lsn
+
+let flushed t = t.flushed
+let appended t = t.next_lsn
+let flushes t = t.flushes
+let wal_violations t = t.violations
+
+let note_data_writeback t ~seg ~page =
+  match page_lsn t ~seg ~page with
+  | Some lsn when lsn > t.flushed -> t.violations <- t.violations + 1
+  | Some _ | None -> ()
+
+let eviction_hook t ~inner ~seg ~page ~dirty =
+  match inner ~seg ~page ~dirty with
+  | `Discard -> `Discard
+  | `Writeback ->
+      (match page_lsn t ~seg ~page with
+      | Some lsn when lsn > t.flushed ->
+          (* The WAL rule: log first, data after. *)
+          flush_to t ~lsn
+      | Some _ | None -> ());
+      note_data_writeback t ~seg ~page;
+      `Writeback

@@ -1,0 +1,61 @@
+(** Write-ahead-log coordination between the DBMS and its segment manager.
+
+    §2.1: with external page-cache management a manager "can coordinate
+    writeback with the application, as is required for clean database
+    transaction commit". The rule is the classic WAL invariant: a dirty
+    data page must not reach disk before the log records describing its
+    changes. A kernel-resident pager cannot know this ordering; an
+    application segment manager enforces it in its eviction hook.
+
+    The log buffers records in memory; [flush_to] writes them with one
+    disk transfer per pending group (group commit). {!eviction_hook}
+    wraps a {!Mgr_generic.hooks}' eviction decision so any writeback of a
+    page with an unflushed LSN forces the log out first. *)
+
+type t
+
+type lsn = int
+(** Log sequence numbers, monotonically increasing from 1. *)
+
+val create : Hw_disk.t -> ?record_bytes:int -> unit -> t
+(** [record_bytes] (default 256) sizes the disk transfer of a flush. *)
+
+val append : t -> lsn
+(** Buffer one log record, returning its LSN. No I/O. *)
+
+val note_page_write : t -> seg:Epcm_segment.id -> page:int -> lsn:lsn -> unit
+(** Record that the page's latest modification is described by [lsn]. *)
+
+val page_lsn : t -> seg:Epcm_segment.id -> page:int -> lsn option
+
+val flush_to : t -> lsn:lsn -> unit
+(** Force the log to disk up to and including [lsn] (no-op if already
+    flushed). One disk write covers every pending record — group
+    commit. Must run inside a simulation process. *)
+
+val commit : t -> lsn:lsn -> unit
+(** Transaction commit: force the log through [lsn]. *)
+
+val flushed : t -> lsn
+val appended : t -> lsn
+val flushes : t -> int
+(** Disk writes the log has performed. *)
+
+val wal_violations : t -> int
+(** Writebacks that would have hit disk before their log records — always
+    0 when the eviction hook is in place; counted for tests that bypass
+    it. *)
+
+val note_data_writeback : t -> seg:Epcm_segment.id -> page:int -> unit
+(** Tell the log a data page is being written back (used by the eviction
+    hook, and by tests to detect violations). *)
+
+val eviction_hook :
+  t ->
+  inner:(seg:Epcm_segment.id -> page:int -> dirty:bool -> [ `Writeback | `Discard ]) ->
+  seg:Epcm_segment.id ->
+  page:int ->
+  dirty:bool ->
+  [ `Writeback | `Discard ]
+(** Wrap an eviction decision with the WAL rule: if the inner policy says
+    [`Writeback] and the page has an unflushed LSN, flush the log first. *)

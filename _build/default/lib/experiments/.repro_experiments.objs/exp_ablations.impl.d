@@ -1,0 +1,1 @@
+lib/experiments/exp_ablations.ml: Buffer Db_config Db_engine Epcm_kernel Epcm_manager Epcm_segment Exp_report Hw_machine Hw_page_data List Mgr_backing Mgr_compressed Mgr_generic Printf Sim_engine

@@ -1,0 +1,1 @@
+lib/experiments/exp_figures.ml: Epcm_kernel Epcm_manager Epcm_segment Exp_report Hw_machine Mgr_backing Mgr_generic Sim_trace String

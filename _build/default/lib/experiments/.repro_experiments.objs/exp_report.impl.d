@@ -1,0 +1,1 @@
+lib/experiments/exp_report.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/exp_substrate.ml: Exp_report List Printf Wl_apps Wl_run Wl_trace

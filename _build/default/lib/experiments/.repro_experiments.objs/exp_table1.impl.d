@@ -1,0 +1,1 @@
+lib/experiments/exp_table1.ml: Epcm_flags Epcm_kernel Epcm_manager Epcm_segment Exp_report Float Hw_cost Hw_machine Hw_page_data List Mgr_backing Mgr_generic Printf Sim_engine Uvm

@@ -1,0 +1,1 @@
+lib/experiments/exp_table2.ml: Exp_report Float List Printf Wl_apps Wl_run Wl_trace

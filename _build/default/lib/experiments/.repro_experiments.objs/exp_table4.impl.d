@@ -1,0 +1,1 @@
+lib/experiments/exp_table4.ml: Db_config Db_engine Exp_report List Printf

@@ -1,0 +1,43 @@
+(** Ablations of the design choices DESIGN.md calls out.
+
+    Each ablation varies one mechanism the paper fixes and shows why the
+    paper's choice is where it is:
+
+    1. {b Append allocation batch} — the UCDS allocates file appends in
+       16 KB units; sweeping the batch size shows the manager-call count
+       and VM overhead falling with batch size, with diminishing returns
+       past 4 pages.
+    2. {b Fault delivery mode} — the same workload under an in-process
+       manager vs a separate-process server: the 107-vs-379 µs gap at
+       application scale, i.e. why a DBMS runs its manager in-process
+       while oblivious programs can afford the default server.
+    3. {b Clock-sampling reprotect batch} — batched re-enabling of
+       protected pages amortises sampling faults; batch 1 is the naive
+       mprotect-per-page cost.
+    4. {b Regeneration/paging crossover} — sweeping the index
+       regeneration compute time against a fixed ~3.6 s page-in shows
+       where discard-and-regenerate stops beating paging: the space-time
+       tradeoff the paper says applications must be allowed to make.
+    5. {b Eviction destination} — reclaim-to-disk vs
+       reclaim-to-compressed-pool vs discard-and-recompute for an
+       over-committed working set. *)
+
+type row = { cells : string list }
+
+type ablation = {
+  a_name : string;
+  a_question : string;
+  header : string list;
+  rows : row list;
+  finding : string;
+  holds : bool;  (** Did the expected direction hold in this run? *)
+}
+
+val append_batch : unit -> ablation
+val delivery_mode : unit -> ablation
+val reprotect_batch : unit -> ablation
+val regeneration_crossover : unit -> ablation
+val eviction_destination : unit -> ablation
+
+val run_all : unit -> ablation list
+val render : ablation -> string

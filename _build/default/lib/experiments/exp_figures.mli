@@ -1,0 +1,21 @@
+(** Figures 1 and 2 are architecture diagrams, not data plots; their
+    executable analogue is a machine-checked dump of live kernel state.
+
+    Figure 1: a program address space composed of code/data/stack segments
+    through bound regions — rebuilt with real kernel objects and rendered
+    from the segment structures.
+
+    Figure 2: the five-step fault-handling protocol — a fault is taken with
+    tracing on and the recorded step sequence is checked against the
+    paper's 1..5 (and the steps-2-3-collapsed variant for locally
+    available data). *)
+
+type result = {
+  figure1 : string;  (** Rendered address-space composition. *)
+  figure2_remote : string list;  (** Step tags, data fetched from server. *)
+  figure2_local : string list;  (** Step tags, data available locally. *)
+  checks : Exp_report.check list;
+}
+
+val run : unit -> result
+val render : result -> string

@@ -1,0 +1,62 @@
+type row = {
+  program : string;
+  tlb_hit_rate : float;
+  pt_hits : int;
+  pt_misses : int;
+  pt_collisions : int;
+  pt_resident : int;
+}
+
+type result = { rows : row list; checks : Exp_report.check list }
+
+let run () =
+  let rows =
+    List.map
+      (fun trace ->
+        let v = Wl_run.run_vpp trace in
+        {
+          program = trace.Wl_trace.name;
+          tlb_hit_rate = v.Wl_run.v_tlb_hit_rate;
+          pt_hits = v.Wl_run.v_pt_hits;
+          pt_misses = v.Wl_run.v_pt_misses;
+          pt_collisions = v.Wl_run.v_pt_collisions;
+          pt_resident = v.Wl_run.v_pt_resident;
+        })
+      Wl_apps.all
+  in
+  let checks =
+    List.concat_map
+      (fun r ->
+        [
+          Exp_report.check
+            ~what:(Printf.sprintf "%s: mapping hash nearly collision-free at 64K slots" r.program)
+            ~pass:(r.pt_collisions * 100 < r.pt_hits + r.pt_misses + 1)
+            ~detail:(Printf.sprintf "%d collisions" r.pt_collisions);
+          Exp_report.check
+            ~what:(Printf.sprintf "%s: every resident page has a cached translation" r.program)
+            ~pass:(r.pt_resident > 0)
+            ~detail:(Printf.sprintf "%d resident entries" r.pt_resident);
+        ])
+      rows
+  in
+  { rows; checks }
+
+let render r =
+  let table =
+    Exp_report.fmt_table
+      ~header:[ "Program"; "TLB hit rate"; "hash hits"; "hash misses"; "collisions"; "resident" ]
+      ~rows:
+        (List.map
+           (fun row ->
+             [
+               row.program;
+               Printf.sprintf "%.1f%%" (100.0 *. row.tlb_hit_rate);
+               string_of_int row.pt_hits;
+               string_of_int row.pt_misses;
+               string_of_int row.pt_collisions;
+               string_of_int row.pt_resident;
+             ])
+           r.rows)
+  in
+  "Substrate: the 64K mapping hash and TLB during the Table 2 runs\n" ^ table
+  ^ "\nShape checks:\n" ^ Exp_report.render_checks r.checks

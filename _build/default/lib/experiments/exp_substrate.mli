@@ -1,0 +1,19 @@
+(** Substrate statistics: what the V++ translation hardware — the global
+    64 K direct-mapped mapping hash with its 32-entry overflow (§3.2) and
+    the R3000-style TLB — actually did during the Table 2 application
+    runs. Not a paper table, but the paper describes the structures; this
+    makes their behaviour observable. *)
+
+type row = {
+  program : string;
+  tlb_hit_rate : float;
+  pt_hits : int;
+  pt_misses : int;
+  pt_collisions : int;
+  pt_resident : int;
+}
+
+type result = { rows : row list; checks : Exp_report.check list }
+
+val run : unit -> result
+val render : result -> string

@@ -1,0 +1,22 @@
+(** Table 1 — System Primitive Times (µs), V++ vs ULTRIX 4.1 on a
+    DECstation 5000/200.
+
+    Every number is {e measured} by driving the corresponding code path in
+    the simulators and reading the simulated clock; nothing returns a
+    constant. The paper's §3.1 text also measures the Ultrix user-level
+    reprotection fault (152 µs) to argue that a full V++ fault (107 µs) is
+    cheaper than merely bouncing a protection fault through a Unix signal
+    handler — included as an extra row. *)
+
+type row = {
+  label : string;
+  vpp_us : float option;  (** Measured; [None] where the paper has none. *)
+  ultrix_us : float option;
+  paper_vpp : float option;
+  paper_ultrix : float option;
+}
+
+type result = { rows : row list; checks : Exp_report.check list }
+
+val run : unit -> result
+val render : result -> string

@@ -1,0 +1,75 @@
+type row = {
+  program : string;
+  vpp_s : float;
+  ultrix_s : float;
+  paper_vpp : float;
+  paper_ultrix : float;
+  vpp_vm_s : float;
+}
+
+type result = { rows : row list; checks : Exp_report.check list }
+
+let paper = [ ("diff", 3.99, 4.05); ("uncompress", 6.39, 6.01); ("latex", 14.71, 13.65) ]
+
+let run () =
+  let rows =
+    List.map
+      (fun trace ->
+        let v = Wl_run.run_vpp trace in
+        let u = Wl_run.run_ultrix trace in
+        let paper_vpp, paper_ultrix =
+          match List.assoc_opt trace.Wl_trace.name (List.map (fun (n, a, b) -> (n, (a, b))) paper) with
+          | Some (a, b) -> (a, b)
+          | None -> (0.0, 0.0)
+        in
+        {
+          program = trace.Wl_trace.name;
+          vpp_s = v.Wl_run.v_elapsed_s;
+          ultrix_s = u.Wl_run.u_elapsed_s;
+          paper_vpp;
+          paper_ultrix;
+          vpp_vm_s = v.Wl_run.v_vm_elapsed_s;
+        })
+      Wl_apps.all
+  in
+  let checks =
+    List.concat_map
+      (fun r ->
+        [
+          Exp_report.check
+            ~what:
+              (Printf.sprintf "%s: V++ within 10%% of Ultrix (the paper's own gaps reach 7.8%%)"
+                 r.program)
+            ~pass:(Float.abs (r.vpp_s -. r.ultrix_s) /. r.ultrix_s < 0.10)
+            ~detail:(Printf.sprintf "%.2f vs %.2f s" r.vpp_s r.ultrix_s);
+          Exp_report.check
+            ~what:(Printf.sprintf "%s: elapsed within 10%% of the paper" r.program)
+            ~pass:
+              (Float.abs (r.vpp_s -. r.paper_vpp) /. r.paper_vpp < 0.10
+              && Float.abs (r.ultrix_s -. r.paper_ultrix) /. r.paper_ultrix < 0.10)
+            ~detail:
+              (Printf.sprintf "V++ %.2f/%.2f, Ultrix %.2f/%.2f" r.vpp_s r.paper_vpp r.ultrix_s
+                 r.paper_ultrix);
+        ])
+      rows
+  in
+  { rows; checks }
+
+let render r =
+  let table =
+    Exp_report.fmt_table
+      ~header:[ "Program"; "V++ (s)"; "Ultrix (s)"; "paper V++"; "paper Ultrix" ]
+      ~rows:
+        (List.map
+           (fun row ->
+             [
+               row.program;
+               Exp_report.seconds row.vpp_s;
+               Exp_report.seconds row.ultrix_s;
+               Exp_report.seconds row.paper_vpp;
+               Exp_report.seconds row.paper_ultrix;
+             ])
+           r.rows)
+  in
+  "Table 2: Application Elapsed Time in Seconds\n" ^ table ^ "\nShape checks:\n"
+  ^ Exp_report.render_checks r.checks

@@ -1,0 +1,16 @@
+(** Table 2 — Application Elapsed Time in Seconds (diff, uncompress,
+    latex under V++ and ULTRIX 4.1, files pre-cached). *)
+
+type row = {
+  program : string;
+  vpp_s : float;
+  ultrix_s : float;
+  paper_vpp : float;
+  paper_ultrix : float;
+  vpp_vm_s : float;  (** V++ simulated time without the library delta. *)
+}
+
+type result = { rows : row list; checks : Exp_report.check list }
+
+val run : unit -> result
+val render : result -> string

@@ -1,0 +1,81 @@
+type row = {
+  program : string;
+  manager_calls : int;
+  migrate_calls : int;
+  overhead_ms : float;
+  overhead_pct : float;
+  paper_calls : int;
+  paper_migrates : int;
+  paper_overhead_ms : float;
+}
+
+type result = { rows : row list; checks : Exp_report.check list }
+
+let paper = [ ("diff", (379, 372, 76.0)); ("uncompress", (197, 195, 40.0)); ("latex", (250, 238, 51.0)) ]
+
+let run () =
+  let rows =
+    List.map
+      (fun trace ->
+        let v = Wl_run.run_vpp trace in
+        let paper_calls, paper_migrates, paper_overhead_ms =
+          match List.assoc_opt trace.Wl_trace.name paper with
+          | Some (a, b, c) -> (a, b, c)
+          | None -> (0, 0, 0.0)
+        in
+        {
+          program = trace.Wl_trace.name;
+          manager_calls = v.Wl_run.v_manager_calls;
+          migrate_calls = v.Wl_run.v_migrate_calls;
+          overhead_ms = v.Wl_run.v_manager_overhead_ms;
+          overhead_pct = v.Wl_run.v_manager_overhead_ms /. 1000.0 /. v.Wl_run.v_elapsed_s *. 100.0;
+          paper_calls;
+          paper_migrates;
+          paper_overhead_ms;
+        })
+      Wl_apps.all
+  in
+  let checks =
+    List.concat_map
+      (fun r ->
+        [
+          Exp_report.check
+            ~what:(Printf.sprintf "%s: manager calls match the paper" r.program)
+            ~pass:(r.manager_calls = r.paper_calls)
+            ~detail:(Printf.sprintf "%d vs %d" r.manager_calls r.paper_calls);
+          Exp_report.check
+            ~what:(Printf.sprintf "%s: MigratePages calls match the paper" r.program)
+            ~pass:(r.migrate_calls = r.paper_migrates)
+            ~detail:(Printf.sprintf "%d vs %d" r.migrate_calls r.paper_migrates);
+          Exp_report.check
+            ~what:(Printf.sprintf "%s: manager overhead under 2%% of runtime" r.program)
+            ~pass:(r.overhead_pct < 2.0)
+            ~detail:(Printf.sprintf "%.2f%%" r.overhead_pct);
+        ])
+      rows
+  in
+  { rows; checks }
+
+let render r =
+  let table =
+    Exp_report.fmt_table
+      ~header:
+        [ "Program"; "Mgr Calls"; "Migrate"; "Overhead"; "% time"; "paper calls";
+          "paper migr"; "paper mS" ]
+      ~rows:
+        (List.map
+           (fun row ->
+             [
+               row.program;
+               string_of_int row.manager_calls;
+               string_of_int row.migrate_calls;
+               Printf.sprintf "%.0f mS" row.overhead_ms;
+               Printf.sprintf "%.2f%%" row.overhead_pct;
+               string_of_int row.paper_calls;
+               string_of_int row.paper_migrates;
+               Printf.sprintf "%.0f" row.paper_overhead_ms;
+             ])
+           r.rows)
+  in
+  "Table 3: VM System Activity and Costs\n" ^ table ^ "\nShape checks:\n"
+  ^ Exp_report.render_checks r.checks

@@ -1,0 +1,20 @@
+(** Table 3 — VM System Activity and Costs: per-application manager calls,
+    MigratePages invocations, and the manager overhead in milliseconds
+    (computed, as in the paper, as manager calls × the cost difference
+    between a V++ default-manager minimal fault and the Ultrix fault). *)
+
+type row = {
+  program : string;
+  manager_calls : int;
+  migrate_calls : int;
+  overhead_ms : float;
+  overhead_pct : float;  (** Of the program's V++ elapsed time. *)
+  paper_calls : int;
+  paper_migrates : int;
+  paper_overhead_ms : float;
+}
+
+type result = { rows : row list; checks : Exp_report.check list }
+
+val run : unit -> result
+val render : result -> string

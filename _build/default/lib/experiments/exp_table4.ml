@@ -1,0 +1,47 @@
+type result = { rows : Db_engine.result list; checks : Exp_report.check list }
+
+let find rows label =
+  List.find (fun (r : Db_engine.result) -> r.Db_engine.label = label) rows
+
+let run ?(quick = false) () =
+  let adjust cfg =
+    if quick then { cfg with Db_config.duration_s = 150.0; warmup_s = 15.0 } else cfg
+  in
+  let rows = List.map (fun cfg -> Db_engine.run (adjust cfg)) Db_config.all_paper_configs in
+  let no_index = find rows "No index" in
+  let in_memory = find rows "Index in memory" in
+  let paging = find rows "Index with paging" in
+  let regen = find rows "Index regeneration" in
+  let avg (r : Db_engine.result) = r.Db_engine.avg_ms in
+  let worst (r : Db_engine.result) = r.Db_engine.worst_ms in
+  let checks =
+    [
+      Exp_report.check ~what:"ordering: in-memory < regeneration << paging < no-index (avg)"
+        ~pass:
+          (avg in_memory < avg regen && avg regen *. 4.0 < avg paging
+          && avg paging < avg no_index)
+        ~detail:
+          (Printf.sprintf "%.0f < %.0f << %.0f < %.0f" (avg in_memory) (avg regen) (avg paging)
+             (avg no_index));
+      Exp_report.check ~what:"regeneration within ~1.5x of index-in-memory (paper: 27% worse)"
+        ~pass:(avg regen < avg in_memory *. 1.6)
+        ~detail:(Printf.sprintf "%.0f vs %.0f ms" (avg regen) (avg in_memory));
+      Exp_report.check
+        ~what:"paging an order of magnitude worse than regeneration (paper: 575 vs 55)"
+        ~pass:(avg paging > avg regen *. 5.0)
+        ~detail:(Printf.sprintf "%.0f vs %.0f ms" (avg paging) (avg regen));
+      Exp_report.check ~what:"index (in memory) is an order of magnitude better than no index"
+        ~pass:(avg no_index > avg in_memory *. 8.0)
+        ~detail:(Printf.sprintf "%.0f vs %.0f ms" (avg no_index) (avg in_memory));
+      Exp_report.check ~what:"worst cases: paging and no-index in the seconds"
+        ~pass:(worst paging > 1500.0 && worst no_index > 1500.0)
+        ~detail:(Printf.sprintf "%.0f and %.0f ms" (worst paging) (worst no_index));
+      Exp_report.check ~what:"frames conserved in every configuration"
+        ~pass:(List.for_all (fun (r : Db_engine.result) -> r.Db_engine.frames_conserved) rows)
+        ~detail:"";
+    ]
+  in
+  { rows; checks }
+
+let render r =
+  Db_engine.render r.rows ^ "\nShape checks:\n" ^ Exp_report.render_checks r.checks

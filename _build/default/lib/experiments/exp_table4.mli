@@ -1,0 +1,10 @@
+(** Table 4 — Effect of Memory Usage on Transaction Response (ms): the
+    four index configurations of the simulated database system. *)
+
+type result = { rows : Db_engine.result list; checks : Exp_report.check list }
+
+val run : ?quick:bool -> unit -> result
+(** [quick] shortens the simulated duration (150 s instead of 300 s) for
+    test runs; the CLI and bench default to the full run. *)
+
+val render : result -> string

@@ -1,0 +1,1 @@
+lib/hw/hw_cost.mli:

@@ -1,0 +1,1 @@
+lib/hw/hw_disk.ml: Sim_engine Sim_sync

@@ -1,0 +1,1 @@
+lib/hw/hw_disk.mli: Sim_engine

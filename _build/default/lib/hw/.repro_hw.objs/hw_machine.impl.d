@@ -1,0 +1,1 @@
+lib/hw/hw_machine.ml: Hw_cost Hw_disk Hw_page_table Hw_phys_mem Hw_tlb Sim_engine Sim_trace

@@ -1,0 +1,1 @@
+lib/hw/hw_page_data.ml: Bytes Char Format Printf

@@ -1,0 +1,1 @@
+lib/hw/hw_page_table.mli:

@@ -1,0 +1,1 @@
+lib/hw/hw_phys_mem.ml: Array Hashtbl Hw_page_data List Printf

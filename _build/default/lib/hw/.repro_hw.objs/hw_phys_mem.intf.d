@@ -1,0 +1,1 @@
+lib/hw/hw_phys_mem.mli: Hw_page_data

@@ -1,0 +1,31 @@
+(** Physically-indexed direct-mapped cache model.
+
+    Used by the page-coloring example: with physical indexing, which cache
+    set a datum lands in depends on the {e physical} page the kernel
+    happened to allocate, so two hot virtual pages can silently collide.
+    Page coloring (paper §1, citing Bray et al.) gives the application
+    control over this by letting it pick frame colors. *)
+
+type t
+
+val create : ?line_bytes:int -> size_bytes:int -> unit -> t
+(** Direct-mapped; default 64-byte lines. *)
+
+val sets : t -> int
+
+val access : t -> phys_addr:int -> unit
+(** One read at a physical address: hit or miss is recorded. *)
+
+val touch_page : t -> phys_addr:int -> page_bytes:int -> unit
+(** Access every line of a page once (a sequential sweep). *)
+
+val hits : t -> int
+val misses : t -> int
+val miss_rate : t -> float
+val reset_stats : t -> unit
+
+val color_of : t -> phys_addr:int -> page_bytes:int -> int
+(** Which page color this address falls in: the cache-set group a page
+    occupies. [sets * line_bytes / page_bytes] distinct colors. *)
+
+val n_colors : t -> page_bytes:int -> int

@@ -1,0 +1,51 @@
+module Engine = Sim_engine
+module Resource = Sim_sync.Resource
+
+type params = {
+  seek_us : float;
+  half_rotation_us : float;
+  us_per_kb : float;
+}
+
+let default_params = { seek_us = 12_000.0; half_rotation_us = 4_150.0; us_per_kb = 666.0 }
+
+type t = {
+  params : params;
+  arm : Resource.t;
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+let create engine ?(params = default_params) () =
+  {
+    params;
+    arm = Resource.create engine ~capacity:1;
+    reads = 0;
+    writes = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+  }
+
+let access_time_us t ~bytes =
+  t.params.seek_us +. t.params.half_rotation_us
+  +. (float_of_int bytes /. 1024.0 *. t.params.us_per_kb)
+
+let transfer t ~bytes = Resource.use t.arm (fun () -> Engine.delay (access_time_us t ~bytes))
+
+let read t ~bytes =
+  t.reads <- t.reads + 1;
+  t.bytes_read <- t.bytes_read + bytes;
+  transfer t ~bytes
+
+let write t ~bytes =
+  t.writes <- t.writes + 1;
+  t.bytes_written <- t.bytes_written + bytes;
+  transfer t ~bytes
+
+let reads t = t.reads
+let writes t = t.writes
+let bytes_read t = t.bytes_read
+let bytes_written t = t.bytes_written
+let busy_fraction t = Resource.utilisation t.arm

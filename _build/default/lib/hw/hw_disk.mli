@@ -1,0 +1,37 @@
+(** Disk device model.
+
+    A single arm served FIFO: a transfer costs
+    [seek + rotation/2 + bytes * transfer time]. Around 1992, a page fault
+    to disk cost "close to a million instruction times" (paper, §1) —
+    roughly 20 ms on a 30+ MIPS machine, which the default parameters
+    reproduce. Concurrent requests queue on the arm, so a burst of faults
+    serialises, which is exactly the convoy behaviour Table 4's paging
+    configuration exhibits. *)
+
+type params = {
+  seek_us : float;
+  half_rotation_us : float;
+  us_per_kb : float;
+}
+
+val default_params : params
+(** ~12 ms seek, ~8.3 ms rotation (3600 rpm), ~0.65 µs/byte
+    (≈1.5 MB/s sustained): a typical 1992 SCSI disk. *)
+
+type t
+
+val create : Sim_engine.t -> ?params:params -> unit -> t
+
+val access_time_us : t -> bytes:int -> float
+(** Raw service time for one transfer, without queueing. *)
+
+val read : t -> bytes:int -> unit
+(** Blocks the calling process for queueing + service time. *)
+
+val write : t -> bytes:int -> unit
+
+val reads : t -> int
+val writes : t -> int
+val bytes_read : t -> int
+val bytes_written : t -> int
+val busy_fraction : t -> float

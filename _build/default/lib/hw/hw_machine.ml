@@ -1,0 +1,41 @@
+module Engine = Sim_engine
+module Trace = Sim_trace
+
+type preset = Decstation_5000_200 | Sgi_4d_380
+
+type t = {
+  engine : Engine.t;
+  mem : Hw_phys_mem.t;
+  page_table : Hw_page_table.t;
+  tlb : Hw_tlb.t;
+  disk : Hw_disk.t;
+  cost : Hw_cost.t;
+  trace : Trace.t;
+}
+
+let create ?(preset = Decstation_5000_200) ?(memory_bytes = 16 * 1024 * 1024)
+    ?(page_size = 4096) ?(n_colors = 16) ?(trace = false) ?disk_params () =
+  let engine = Engine.create () in
+  let cost =
+    match preset with
+    | Decstation_5000_200 -> Hw_cost.decstation_5000_200
+    | Sgi_4d_380 -> Hw_cost.sgi_4d_380
+  in
+  {
+    engine;
+    mem = Hw_phys_mem.create ~n_colors ~page_size ~total_bytes:memory_bytes ();
+    page_table = Hw_page_table.create ();
+    tlb = Hw_tlb.create ();
+    disk = Hw_disk.create engine ?params:disk_params ();
+    cost;
+    trace = Trace.create ~enabled:trace ();
+  }
+
+let page_size t = Hw_phys_mem.page_size t.mem
+let n_frames t = Hw_phys_mem.n_frames t.mem
+let charge (_ : t) us =
+  (* Outside a simulation process (plain unit tests) state transitions
+     still happen; time simply does not advance. *)
+  if us > 0.0 then try Engine.delay us with Engine.Not_in_process -> ()
+let now t = Engine.now t.engine
+let trace_emit t ~tag detail = Trace.emit t.trace ~time:(Engine.now t.engine) ~tag detail

@@ -1,0 +1,38 @@
+(** A complete simulated machine: engine + memory + translation hardware +
+    disk + cost table, bundled for the kernels to run on. *)
+
+type preset = Decstation_5000_200 | Sgi_4d_380
+
+type t = {
+  engine : Sim_engine.t;
+  mem : Hw_phys_mem.t;
+  page_table : Hw_page_table.t;
+  tlb : Hw_tlb.t;
+  disk : Hw_disk.t;
+  cost : Hw_cost.t;
+  trace : Sim_trace.t;
+}
+
+val create :
+  ?preset:preset ->
+  ?memory_bytes:int ->
+  ?page_size:int ->
+  ?n_colors:int ->
+  ?trace:bool ->
+  ?disk_params:Hw_disk.params ->
+  unit ->
+  t
+(** Defaults: DECstation preset, 16 MB memory (large enough for the unit
+    tests; experiments pass their own size), 4 KB pages, 16 colors, trace
+    off. The paper's machines: DECstation 5000/200 with 128 MB (Tables
+    1–3); SGI 4D/380 for Table 4. *)
+
+val page_size : t -> int
+val n_frames : t -> int
+val charge : t -> float -> unit
+(** Advance the calling process by a cost-model amount (clamped at 0).
+    Outside a simulation process this is a no-op, so semantics-only unit
+    tests can drive the kernels without an engine. *)
+
+val now : t -> float
+val trace_emit : t -> tag:string -> string -> unit

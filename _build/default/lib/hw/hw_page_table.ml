@@ -1,0 +1,106 @@
+type prot = { readable : bool; writable : bool }
+
+type entry = { space : int; vpn : int; frame : int; prot : prot }
+
+type t = {
+  slots : entry option array;
+  overflow : entry option array;
+  mutable overflow_next : int;  (* round-robin victim pointer *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable collisions : int;
+}
+
+let create ?(slots = 65536) ?(overflow = 32) () =
+  if slots <= 0 || overflow < 0 then invalid_arg "Hw_page_table.create";
+  {
+    slots = Array.make slots None;
+    overflow = Array.make overflow None;
+    overflow_next = 0;
+    hits = 0;
+    misses = 0;
+    collisions = 0;
+  }
+
+let slot_of t ~space ~vpn =
+  let h = (space * 0x9E3779B1) lxor (vpn * 0x85EBCA77) in
+  abs h mod Array.length t.slots
+
+let matches e ~space ~vpn = e.space = space && e.vpn = vpn
+
+let overflow_insert t e =
+  if Array.length t.overflow > 0 then begin
+    (* Prefer an empty slot; otherwise evict round-robin. *)
+    let empty = ref (-1) in
+    Array.iteri (fun i o -> if o = None && !empty < 0 then empty := i) t.overflow;
+    let i = if !empty >= 0 then !empty else t.overflow_next in
+    if !empty < 0 then t.overflow_next <- (t.overflow_next + 1) mod Array.length t.overflow;
+    t.overflow.(i) <- Some e
+  end
+
+let insert t ~space ~vpn ~frame ~prot =
+  let i = slot_of t ~space ~vpn in
+  let e = { space; vpn; frame; prot } in
+  (match t.slots.(i) with
+  | Some old when not (matches old ~space ~vpn) ->
+      t.collisions <- t.collisions + 1;
+      overflow_insert t old
+  | Some _ | None -> ());
+  (* Remove any stale overflow copy of this key. *)
+  Array.iteri
+    (fun j o ->
+      match o with
+      | Some oe when matches oe ~space ~vpn -> t.overflow.(j) <- None
+      | Some _ | None -> ())
+    t.overflow;
+  t.slots.(i) <- Some e
+
+let lookup t ~space ~vpn =
+  let i = slot_of t ~space ~vpn in
+  match t.slots.(i) with
+  | Some e when matches e ~space ~vpn ->
+      t.hits <- t.hits + 1;
+      Some (e.frame, e.prot)
+  | _ -> (
+      let found = ref None in
+      Array.iter
+        (fun o ->
+          match o with
+          | Some e when matches e ~space ~vpn && !found = None -> found := Some (e.frame, e.prot)
+          | Some _ | None -> ())
+        t.overflow;
+      match !found with
+      | Some r ->
+          t.hits <- t.hits + 1;
+          Some r
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let remove t ~space ~vpn =
+  let i = slot_of t ~space ~vpn in
+  (match t.slots.(i) with
+  | Some e when matches e ~space ~vpn -> t.slots.(i) <- None
+  | Some _ | None -> ());
+  Array.iteri
+    (fun j o ->
+      match o with
+      | Some e when matches e ~space ~vpn -> t.overflow.(j) <- None
+      | Some _ | None -> ())
+    t.overflow
+
+let remove_space t ~space =
+  Array.iteri
+    (fun i o -> match o with Some e when e.space = space -> t.slots.(i) <- None | _ -> ())
+    t.slots;
+  Array.iteri
+    (fun i o -> match o with Some e when e.space = space -> t.overflow.(i) <- None | _ -> ())
+    t.overflow
+
+let hits t = t.hits
+let misses t = t.misses
+let collisions t = t.collisions
+
+let resident t =
+  let count arr = Array.fold_left (fun acc o -> if o = None then acc else acc + 1) 0 arr in
+  count t.slots + count t.overflow

@@ -1,0 +1,37 @@
+(** The V++ global mapping hash table.
+
+    The paper: "V++ augments the segment and bound region data structures
+    with a global 64K entry direct mapped hash table with a 32 entry
+    overflow area." This table is a {e cache} of virtual-to-physical
+    translations; a miss falls back to walking the kernel's segment
+    structures (which the kernel charges for separately). Keys are
+    (address-space id, virtual page number). *)
+
+type prot = { readable : bool; writable : bool }
+
+type entry = { space : int; vpn : int; frame : int; prot : prot }
+
+type t
+
+val create : ?slots:int -> ?overflow:int -> unit -> t
+(** Defaults: 65536 direct-mapped slots, 32 overflow entries. *)
+
+val insert : t -> space:int -> vpn:int -> frame:int -> prot:prot -> unit
+(** A colliding resident entry is pushed to the overflow area; when the
+    overflow area is full its oldest entry is discarded (it can be rebuilt
+    from segment structures on demand). *)
+
+val lookup : t -> space:int -> vpn:int -> (int * prot) option
+(** Updates hit/miss statistics. *)
+
+val remove : t -> space:int -> vpn:int -> unit
+val remove_space : t -> space:int -> unit
+(** Drop all translations of one address space (space teardown). *)
+
+val hits : t -> int
+val misses : t -> int
+val collisions : t -> int
+(** Number of insertions that displaced a resident entry. *)
+
+val resident : t -> int
+(** Currently cached translations (slots + overflow). *)

@@ -1,0 +1,60 @@
+type frame = {
+  index : int;
+  addr : int;
+  color : int;
+  mutable data : Hw_page_data.t;
+  mutable owner : int;
+}
+
+type t = { page_size : int; n_colors : int; frames : frame array }
+
+let create ?(n_colors = 16) ~page_size ~total_bytes () =
+  if page_size <= 0 then invalid_arg "Hw_phys_mem.create: page_size must be positive";
+  if n_colors <= 0 then invalid_arg "Hw_phys_mem.create: n_colors must be positive";
+  let n = total_bytes / page_size in
+  if n <= 0 then invalid_arg "Hw_phys_mem.create: need at least one page";
+  let frames =
+    Array.init n (fun i ->
+        {
+          index = i;
+          addr = i * page_size;
+          color = i mod n_colors;
+          data = Hw_page_data.Zero;
+          owner = -1;
+        })
+  in
+  { page_size; n_colors; frames }
+
+let page_size t = t.page_size
+let n_frames t = Array.length t.frames
+let n_colors t = t.n_colors
+
+let frame t i =
+  if i < 0 || i >= Array.length t.frames then
+    invalid_arg (Printf.sprintf "Hw_phys_mem.frame: index %d out of range" i);
+  t.frames.(i)
+
+let frames_of_color t color =
+  Array.to_list t.frames
+  |> List.filter_map (fun f -> if f.color = color then Some f.index else None)
+
+let frames_in_range t ~lo_addr ~hi_addr =
+  Array.to_list t.frames
+  |> List.filter_map (fun f ->
+         if f.addr >= lo_addr && f.addr < hi_addr then Some f.index else None)
+
+let zero_frame t i = (frame t i).data <- Hw_page_data.Zero
+
+let copy_frame t ~src ~dst =
+  let s = frame t src and d = frame t dst in
+  d.data <- s.data
+
+let owners_histogram t =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun f ->
+      let c = try Hashtbl.find tbl f.owner with Not_found -> 0 in
+      Hashtbl.replace tbl f.owner (c + 1))
+    t.frames;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,40 @@
+(** Physical memory: a fixed array of page frames.
+
+    Frames carry their physical address, cache color and current contents.
+    Who {e owns} a frame (which segment it is migrated into) is the
+    kernel's business, not the hardware's; the kernel records an opaque
+    integer owner tag here purely so invariant checks ("every frame is in
+    exactly one segment") can audit the whole machine. *)
+
+type frame = {
+  index : int;  (** Frame number, [0 .. n_frames-1]. *)
+  addr : int;  (** Physical byte address of the frame. *)
+  color : int;  (** [addr / page_size mod n_colors] — cache color. *)
+  mutable data : Hw_page_data.t;
+  mutable owner : int;  (** Opaque tag maintained by the kernel; -1 = none. *)
+}
+
+type t
+
+val create : ?n_colors:int -> page_size:int -> total_bytes:int -> unit -> t
+(** [n_colors] defaults to 16. [total_bytes] is rounded down to a whole
+    number of pages; at least one page is required. *)
+
+val page_size : t -> int
+val n_frames : t -> int
+val n_colors : t -> int
+
+val frame : t -> int -> frame
+(** Raises [Invalid_argument] for an out-of-range index. *)
+
+val frames_of_color : t -> int -> int list
+(** Frame indices with the given color, ascending. *)
+
+val frames_in_range : t -> lo_addr:int -> hi_addr:int -> int list
+(** Frame indices whose physical address lies in [lo_addr, hi_addr). *)
+
+val zero_frame : t -> int -> unit
+val copy_frame : t -> src:int -> dst:int -> unit
+
+val owners_histogram : t -> (int * int) list
+(** (owner tag, frame count) pairs, for whole-machine accounting checks. *)

@@ -1,0 +1,43 @@
+type slot = { space : int; vpn : int; frame : int }
+
+type t = {
+  slots : slot option array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(entries = 64) () =
+  if entries <= 0 then invalid_arg "Hw_tlb.create: entries must be positive";
+  { slots = Array.make entries None; hits = 0; misses = 0 }
+
+let index t ~space ~vpn = abs ((vpn * 31) lxor space) mod Array.length t.slots
+
+let lookup t ~space ~vpn =
+  match t.slots.(index t ~space ~vpn) with
+  | Some s when s.space = space && s.vpn = vpn ->
+      t.hits <- t.hits + 1;
+      Some s.frame
+  | Some _ | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let fill t ~space ~vpn ~frame = t.slots.(index t ~space ~vpn) <- Some { space; vpn; frame }
+
+let invalidate t ~space ~vpn =
+  match t.slots.(index t ~space ~vpn) with
+  | Some s when s.space = space && s.vpn = vpn -> t.slots.(index t ~space ~vpn) <- None
+  | Some _ | None -> ()
+
+let invalidate_space t ~space =
+  Array.iteri
+    (fun i o -> match o with Some s when s.space = space -> t.slots.(i) <- None | _ -> ())
+    t.slots
+
+let flush t = Array.fill t.slots 0 (Array.length t.slots) None
+
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total

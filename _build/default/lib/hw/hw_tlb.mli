@@ -1,0 +1,23 @@
+(** Translation lookaside buffer model.
+
+    The R3000 TLB has 64 entries; misses are refilled in software by a fast
+    kernel handler. We model a direct-mapped TLB (deterministic, close
+    enough for the cache-coloring example) with hit/miss accounting. *)
+
+type t
+
+val create : ?entries:int -> unit -> t
+(** Default 64 entries. *)
+
+val lookup : t -> space:int -> vpn:int -> int option
+(** Returns the cached frame for the page, updating statistics. *)
+
+val fill : t -> space:int -> vpn:int -> frame:int -> unit
+val invalidate : t -> space:int -> vpn:int -> unit
+val invalidate_space : t -> space:int -> unit
+val flush : t -> unit
+
+val hits : t -> int
+val misses : t -> int
+val hit_rate : t -> float
+(** In [0,1]; 0 when no lookups have happened. *)

@@ -1,0 +1,1 @@
+lib/managers/mgr_backing.ml: Hashtbl Hw_disk Hw_page_data

@@ -1,0 +1,1 @@
+lib/managers/mgr_backing.mli: Hw_disk Hw_page_data

@@ -1,0 +1,1 @@
+lib/managers/mgr_checkpoint.mli: Epcm_kernel Epcm_manager Epcm_segment Hw_page_data Mgr_generic

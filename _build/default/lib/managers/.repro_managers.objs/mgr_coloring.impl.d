@@ -1,0 +1,1 @@
+lib/managers/mgr_coloring.ml: Array Epcm_flags Epcm_kernel Epcm_manager Epcm_segment Fun Hw_cost Hw_machine Hw_phys_mem List Mgr_generic

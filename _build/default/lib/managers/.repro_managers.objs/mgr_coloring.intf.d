@@ -1,0 +1,1 @@
+lib/managers/mgr_coloring.mli: Epcm_kernel Epcm_manager Epcm_segment

@@ -1,0 +1,1 @@
+lib/managers/mgr_dbms.ml: Epcm_flags Epcm_kernel Epcm_manager Epcm_segment Hashtbl Hw_machine Hw_page_data List Mgr_backing Mgr_free_pages Mgr_generic Option Printf

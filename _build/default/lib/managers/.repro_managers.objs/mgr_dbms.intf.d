@@ -1,0 +1,1 @@
+lib/managers/mgr_dbms.mli: Epcm_kernel Epcm_manager Epcm_segment Hw_disk Mgr_generic

@@ -1,0 +1,1 @@
+lib/managers/mgr_default.ml: Array Epcm_flags Epcm_kernel Epcm_segment Hashtbl Hw_cost Hw_machine Hw_phys_mem List Mgr_backing Mgr_free_pages Mgr_generic Printf

@@ -1,0 +1,1 @@
+lib/managers/mgr_default.mli: Epcm_kernel Epcm_manager Epcm_segment Mgr_backing Mgr_generic

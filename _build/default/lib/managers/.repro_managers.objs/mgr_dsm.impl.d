@@ -1,0 +1,1 @@
+lib/managers/mgr_dsm.ml: Array Epcm_flags Epcm_kernel Epcm_manager Epcm_segment Fun Hashtbl Hw_cost Hw_machine Hw_page_data Hw_phys_mem List Mgr_free_pages Mgr_generic Printf

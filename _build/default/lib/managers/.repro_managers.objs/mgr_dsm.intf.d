@@ -1,0 +1,1 @@
+lib/managers/mgr_dsm.mli: Epcm_kernel Epcm_segment Hw_page_data Mgr_generic

@@ -1,0 +1,1 @@
+lib/managers/mgr_free_pages.ml: Epcm_flags Epcm_kernel Epcm_segment Hw_machine Hw_phys_mem

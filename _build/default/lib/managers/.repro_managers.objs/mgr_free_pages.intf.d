@@ -1,0 +1,1 @@
+lib/managers/mgr_free_pages.mli: Epcm_flags Epcm_kernel Epcm_segment Hw_page_data

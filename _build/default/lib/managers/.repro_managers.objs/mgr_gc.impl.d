@@ -1,0 +1,1 @@
+lib/managers/mgr_gc.ml: Epcm_flags Epcm_kernel Epcm_manager Epcm_segment Hashtbl Hw_cost Hw_machine Hw_phys_mem Mgr_backing Mgr_free_pages Mgr_generic Option

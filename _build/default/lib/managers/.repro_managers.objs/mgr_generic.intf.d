@@ -1,0 +1,1 @@
+lib/managers/mgr_generic.mli: Epcm_kernel Epcm_manager Epcm_segment Hw_page_data Mgr_backing Mgr_free_pages

@@ -1,0 +1,1 @@
+lib/managers/mgr_prefetch.ml: Epcm_flags Epcm_kernel Epcm_manager Epcm_segment Fun Hashtbl Hw_cost Hw_machine Mgr_backing Mgr_free_pages Mgr_generic Option Printf Sim_engine Sim_sync

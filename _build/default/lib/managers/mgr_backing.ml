@@ -1,0 +1,34 @@
+type latency = No_latency | Disk of { device : Hw_disk.t; page_bytes : int }
+
+type t = {
+  latency : latency;
+  table : (int * int, Hw_page_data.t) Hashtbl.t;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let memory () = { latency = No_latency; table = Hashtbl.create 256; reads = 0; writes = 0 }
+
+let disk device ~page_bytes =
+  { latency = Disk { device; page_bytes }; table = Hashtbl.create 256; reads = 0; writes = 0 }
+
+let read_block t ~file ~block =
+  t.reads <- t.reads + 1;
+  (match t.latency with
+  | No_latency -> ()
+  | Disk { device; page_bytes } -> Hw_disk.read device ~bytes:page_bytes);
+  match Hashtbl.find_opt t.table (file, block) with
+  | Some d -> d
+  | None -> Hw_page_data.block ~file ~block ~version:0
+
+let write_block t ~file ~block data =
+  t.writes <- t.writes + 1;
+  (match t.latency with
+  | No_latency -> ()
+  | Disk { device; page_bytes } -> Hw_disk.write device ~bytes:page_bytes);
+  Hashtbl.replace t.table (file, block) data
+
+let has_block t ~file ~block = Hashtbl.mem t.table (file, block)
+
+let reads t = t.reads
+let writes t = t.writes

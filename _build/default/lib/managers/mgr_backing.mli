@@ -1,0 +1,27 @@
+(** Backing store for segment managers: where page data comes from and goes
+    to when it is not in memory.
+
+    The paper's managers talk to a file server (Figure 2 steps 2–3) or to
+    local disk. Two latency models are provided: [memory] (instant — used
+    to reproduce the Tables 2–3 runs, where files were pre-cached exactly
+    so that no I/O latency would mask VM costs) and [disk], which charges
+    real simulated disk time and serialises on the disk arm. *)
+
+type t
+
+val memory : unit -> t
+val disk : Hw_disk.t -> page_bytes:int -> t
+
+val read_block : t -> file:int -> block:int -> Hw_page_data.t
+(** Contents of a file block. Unwritten blocks read as the symbolic
+    version-0 block. Blocks the calling process on a [disk] store. *)
+
+val write_block : t -> file:int -> block:int -> Hw_page_data.t -> unit
+
+val has_block : t -> file:int -> block:int -> bool
+(** Has this block ever been written? (No latency charged — the manager's
+    own directory answers this.) Anonymous-page managers use it to
+    distinguish "fresh page" from "paged out to swap". *)
+
+val reads : t -> int
+val writes : t -> int

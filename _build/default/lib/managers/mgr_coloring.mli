@@ -1,0 +1,37 @@
+(** Page-coloring segment manager.
+
+    On a physically-indexed cache, the cache set a virtual page occupies
+    is decided by the physical frame the kernel picked. A conventional
+    kernel picks arbitrarily; this manager implements the paper's
+    application-specific page coloring: virtual page [p] of a managed
+    segment gets a frame of color [p mod n_colors], using the SPCM's
+    color-constrained allocation ([GetPageAttributes] exposes physical
+    addresses, so the manager can verify what it got).
+
+    Unlike {!Mgr_free_pages}, the pool here is slot-addressed, not
+    compact: frames of different colors coexist and are picked by
+    color. *)
+
+type t
+
+type colored_source =
+  color:int option -> dst:Epcm_segment.id -> dst_page:int -> count:int -> int
+(** Like {!Mgr_generic.source} with an optional color constraint. *)
+
+val create :
+  Epcm_kernel.t -> n_colors:int -> source:colored_source -> pool_capacity:int -> unit -> t
+
+val manager_id : t -> Epcm_manager.id
+
+val create_segment : t -> name:string -> pages:int -> Epcm_segment.id
+(** Anonymous segment whose faults are served color-matched. *)
+
+val color_of_frame : t -> frame:int -> int
+
+val audit : t -> seg:Epcm_segment.id -> int * int
+(** (correctly colored resident pages, total resident pages). With a
+    cooperative SPCM the first equals the second. *)
+
+val color_misses : t -> int
+(** Faults the manager could not serve with the preferred color (SPCM had
+    no frame of it) and served with an arbitrary frame instead. *)

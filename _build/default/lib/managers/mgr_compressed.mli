@@ -1,0 +1,50 @@
+(** Compressed-cache segment manager.
+
+    §2.1 lists "page compression" among the sophisticated schemes a
+    process-level manager can implement without kernel support. This one
+    is a 1992-flavoured zswap: on eviction, instead of paying a ~15 ms
+    disk write, the page is compressed (~0.5 ms of CPU) into a bounded
+    in-memory pool; a later fault decompresses (~0.3 ms) instead of
+    reading the disk. When the compressed pool overflows its budget, the
+    oldest entries spill to the real backing store.
+
+    The ablation bench compares reclaim-to-disk, reclaim-to-compression
+    and discard-and-regenerate on the same workload. *)
+
+type config = {
+  compress_us : float;  (** CPU to compress one 4 KB page. *)
+  decompress_us : float;
+  compression_ratio : float;  (** Compressed size as a fraction of a page. *)
+  budget_pages : float;  (** Pool budget in page-equivalents. *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  Epcm_kernel.t ->
+  ?disk:Hw_disk.t ->
+  ?config:config ->
+  source:Mgr_generic.source ->
+  pool_capacity:int ->
+  unit ->
+  t
+
+val manager_id : t -> Epcm_manager.id
+val create_segment : t -> name:string -> pages:int -> Epcm_segment.id
+
+val evict : t -> seg:Epcm_segment.id -> page:int -> unit
+(** Compress the page into the pool and reclaim its frame. *)
+
+val resident : t -> seg:Epcm_segment.id -> int
+val compressed_entries : t -> int
+val pool_page_equivalents : t -> float
+
+(** {2 Statistics} *)
+
+val compressions : t -> int
+val decompressions : t -> int
+val spills : t -> int  (** Compressed entries pushed out to disk. *)
+
+val disk_fills : t -> int  (** Faults that had to go to the disk after all. *)

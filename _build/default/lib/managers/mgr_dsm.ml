@@ -1,0 +1,197 @@
+module K = Epcm_kernel
+module Seg = Epcm_segment
+module Mgr = Epcm_manager
+module Flags = Epcm_flags
+
+type page_state = Invalid | Shared | Exclusive
+
+type t = {
+  kern : K.t;
+  mutable mid : Mgr.id;
+  pool : Mgr_free_pages.t;
+  source : Mgr_generic.source;
+  n_nodes : int;
+  n_pages : int;
+  net_latency_us : float;
+  mutable node_segs : Seg.id array;
+  seg_to_node : (Seg.id, int) Hashtbl.t;
+  (* page -> per-node state *)
+  states : page_state array array;  (* states.(node).(page) *)
+  home : (int, Hw_page_data.t) Hashtbl.t;  (* authoritative data when nobody is Exclusive *)
+  mutable transfers : int;
+  mutable invalidations : int;
+  mutable downgrades : int;
+}
+
+let nodes t = t.n_nodes
+let node_segment t ~node = t.node_segs.(node)
+let state t ~node ~page = t.states.(node).(page)
+
+let holders t ~page =
+  List.filter
+    (fun n -> t.states.(n).(page) <> Invalid)
+    (List.init t.n_nodes Fun.id)
+
+let charge_net t messages =
+  Hw_machine.charge (K.machine t.kern) (float_of_int messages *. t.net_latency_us)
+
+let charge_copy t =
+  Hw_machine.charge (K.machine t.kern) (K.machine t.kern).Hw_machine.cost.Hw_cost.copy_page
+
+let ensure_pool t n =
+  if Mgr_free_pages.available t.pool < n then begin
+    match Mgr_free_pages.grant_slot t.pool with
+    | None -> ()
+    | Some slot ->
+        let got =
+          t.source ~dst:(Mgr_free_pages.segment t.pool) ~dst_page:slot
+            ~count:(max n (min 32 (Mgr_free_pages.room t.pool)))
+        in
+        Mgr_free_pages.note_granted t.pool got
+  end;
+  if Mgr_free_pages.available t.pool < n then
+    raise (Mgr_generic.Out_of_frames "Mgr_dsm: no frames")
+
+let frame_data t seg page =
+  let s = K.segment t.kern seg in
+  match (Seg.page s page).Seg.frame with
+  | Some f -> (Hw_phys_mem.frame (K.machine t.kern).Hw_machine.mem f).Hw_phys_mem.data
+  | None -> Hw_page_data.Zero
+
+(* Current authoritative contents of a page. *)
+let latest_data t ~page =
+  let exclusive_holder =
+    List.find_opt (fun n -> t.states.(n).(page) = Exclusive) (List.init t.n_nodes Fun.id)
+  in
+  match exclusive_holder with
+  | Some n -> frame_data t t.node_segs.(n) page
+  | None -> (
+      match
+        List.find_opt (fun n -> t.states.(n).(page) = Shared) (List.init t.n_nodes Fun.id)
+      with
+      | Some n -> frame_data t t.node_segs.(n) page
+      | None -> ( match Hashtbl.find_opt t.home page with Some d -> d | None -> Hw_page_data.Zero))
+
+(* Take a node's copy away (writing an Exclusive copy home first). *)
+let revoke t ~node ~page =
+  match t.states.(node).(page) with
+  | Invalid -> ()
+  | Shared | Exclusive ->
+      if t.states.(node).(page) = Exclusive then
+        Hashtbl.replace t.home page (frame_data t t.node_segs.(node) page);
+      if Mgr_free_pages.room t.pool = 0 then
+        ignore (Mgr_free_pages.release_to_initial t.pool ~count:16);
+      Mgr_free_pages.put_from t.pool ~src:t.node_segs.(node) ~src_page:page;
+      t.states.(node).(page) <- Invalid;
+      t.invalidations <- t.invalidations + 1;
+      charge_net t 1 (* the invalidation message *)
+
+(* Exclusive holder keeps its copy but drops to Shared (read-only). *)
+let downgrade t ~node ~page =
+  if t.states.(node).(page) = Exclusive then begin
+    Hashtbl.replace t.home page (frame_data t t.node_segs.(node) page);
+    K.modify_page_flags t.kern ~seg:t.node_segs.(node) ~page ~count:1
+      ~set_flags:Flags.read_only ~clear_flags:Flags.dirty ();
+    t.states.(node).(page) <- Shared;
+    t.downgrades <- t.downgrades + 1;
+    charge_net t 1
+  end
+
+(* Install a copy at a node with the given rights. *)
+let install t ~node ~page ~exclusive =
+  let data = latest_data t ~page in
+  ensure_pool t 1;
+  (* Request + data reply across the interconnect, then the local copy. *)
+  charge_net t 2;
+  t.transfers <- t.transfers + 1;
+  Mgr_free_pages.set_next_data t.pool data;
+  charge_copy t;
+  let flags_clear = Flags.of_list [ Flags.dirty; Flags.no_access ] in
+  let set_flags = if exclusive then Flags.empty else Flags.read_only in
+  let moved =
+    Mgr_free_pages.take_to t.pool ~dst:t.node_segs.(node) ~dst_page:page ~count:1
+      ~set_flags
+      ~clear_flags:(if exclusive then Flags.union flags_clear Flags.read_only else flags_clear)
+      ()
+  in
+  assert (moved = 1);
+  t.states.(node).(page) <- (if exclusive then Exclusive else Shared)
+
+let acquire_shared t ~node ~page =
+  if t.states.(node).(page) = Invalid then begin
+    (* Any Exclusive holder drops to Shared, publishing its data. *)
+    List.iter (fun n -> if n <> node then downgrade t ~node:n ~page) (List.init t.n_nodes Fun.id);
+    install t ~node ~page ~exclusive:false
+  end
+
+let acquire_exclusive t ~node ~page =
+  match t.states.(node).(page) with
+  | Exclusive -> ()
+  | Shared ->
+      (* Upgrade: invalidate the other copies, raise our rights. *)
+      List.iter (fun n -> if n <> node then revoke t ~node:n ~page) (List.init t.n_nodes Fun.id);
+      K.modify_page_flags t.kern ~seg:t.node_segs.(node) ~page ~count:1
+        ~clear_flags:Flags.read_only ();
+      t.states.(node).(page) <- Exclusive
+  | Invalid ->
+      List.iter (fun n -> if n <> node then revoke t ~node:n ~page) (List.init t.n_nodes Fun.id);
+      install t ~node ~page ~exclusive:true
+
+let on_fault t (fault : Mgr.fault) =
+  let machine = K.machine t.kern in
+  Hw_machine.charge machine machine.Hw_machine.cost.Hw_cost.manager_fault_logic;
+  match Hashtbl.find_opt t.seg_to_node fault.Mgr.f_seg with
+  | None -> ()
+  | Some node -> (
+      match (fault.Mgr.f_kind, fault.Mgr.f_access) with
+      | Mgr.Missing, Mgr.Read -> acquire_shared t ~node ~page:fault.Mgr.f_page
+      | Mgr.Missing, Mgr.Write -> acquire_exclusive t ~node ~page:fault.Mgr.f_page
+      | Mgr.Protection, Mgr.Write -> acquire_exclusive t ~node ~page:fault.Mgr.f_page
+      | Mgr.Protection, Mgr.Read ->
+          K.modify_page_flags t.kern ~seg:fault.Mgr.f_seg ~page:fault.Mgr.f_page ~count:1
+            ~clear_flags:Flags.no_access ()
+      | Mgr.Cow_write, _ -> acquire_exclusive t ~node ~page:fault.Mgr.f_page)
+
+let create kern ~source ~nodes ~pages ?(net_latency_us = 1000.0) () =
+  if nodes < 1 then invalid_arg "Mgr_dsm.create: need at least one node";
+  let t =
+    {
+      kern;
+      mid = -1;
+      pool = Mgr_free_pages.create kern ~name:"dsm.free-pages" ~capacity:(max 64 (nodes * pages));
+      source;
+      n_nodes = nodes;
+      n_pages = pages;
+      net_latency_us;
+      node_segs = [||];
+      seg_to_node = Hashtbl.create 8;
+      states = Array.init nodes (fun _ -> Array.make pages Invalid);
+      home = Hashtbl.create 64;
+      transfers = 0;
+      invalidations = 0;
+      downgrades = 0;
+    }
+  in
+  t.mid <-
+    K.register_manager kern ~name:"dsm-manager" ~mode:`In_process
+      ~on_fault:(fun f -> on_fault t f)
+      ();
+  t.node_segs <-
+    Array.init nodes (fun n ->
+        let seg = K.create_segment kern ~name:(Printf.sprintf "dsm-node-%d" n) ~pages () in
+        K.set_segment_manager kern seg t.mid;
+        Hashtbl.replace t.seg_to_node seg n;
+        seg);
+  t
+
+let read t ~node ~page =
+  K.touch t.kern ~space:t.node_segs.(node) ~page ~access:Mgr.Read;
+  K.uio_read t.kern ~seg:t.node_segs.(node) ~page
+
+let write t ~node ~page data =
+  K.touch t.kern ~space:t.node_segs.(node) ~page ~access:Mgr.Write;
+  K.uio_write t.kern ~seg:t.node_segs.(node) ~page data
+
+let transfers t = t.transfers
+let invalidations t = t.invalidations
+let downgrades t = t.downgrades

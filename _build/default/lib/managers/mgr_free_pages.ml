@@ -1,0 +1,61 @@
+module K = Epcm_kernel
+module Seg = Epcm_segment
+
+type t = {
+  kernel : K.t;
+  seg : Seg.id;
+  capacity : int;
+  mutable full : int;  (* slots [0, full) hold frames *)
+}
+
+let create kernel ~name ~capacity =
+  if capacity <= 0 then invalid_arg "Mgr_free_pages.create: capacity must be positive";
+  let seg = K.create_segment kernel ~name ~pages:capacity () in
+  { kernel; seg; capacity; full = 0 }
+
+let segment t = t.seg
+let capacity t = t.capacity
+let available t = t.full
+let room t = t.capacity - t.full
+let grant_slot t = if t.full >= t.capacity then None else Some t.full
+let note_granted t n =
+  if n < 0 || t.full + n > t.capacity then invalid_arg "Mgr_free_pages.note_granted";
+  t.full <- t.full + n
+
+let take_to t ~dst ~dst_page ~count ?(set_flags = Epcm_flags.empty)
+    ?(clear_flags = Epcm_flags.empty) () =
+  let n = min count t.full in
+  if n > 0 then begin
+    K.migrate_pages t.kernel ~src:t.seg ~dst ~src_page:(t.full - n) ~dst_page ~count:n
+      ~set_flags ~clear_flags ();
+    t.full <- t.full - n
+  end;
+  n
+
+let put_from t ~src ~src_page =
+  if t.full >= t.capacity then
+    raise (K.Error (K.Frame_present { seg = t.seg; page = t.full }));
+  K.migrate_pages t.kernel ~src ~dst:t.seg ~src_page ~dst_page:t.full ~count:1
+    ~clear_flags:(Epcm_flags.of_list [ Epcm_flags.referenced; Epcm_flags.no_access ])
+    ();
+  t.full <- t.full + 1
+
+let frame_at t slot =
+  let seg = K.segment t.kernel t.seg in
+  match (Seg.page seg slot).Seg.frame with
+  | Some f -> Hw_phys_mem.frame (K.machine t.kernel).Hw_machine.mem f
+  | None -> raise (K.Error (K.No_frame { seg = t.seg; page = slot }))
+
+let set_next_data t data =
+  if t.full = 0 then raise (K.Error (K.No_frame { seg = t.seg; page = 0 }));
+  (frame_at t (t.full - 1)).Hw_phys_mem.data <- data
+
+let peek_slot_data t ~slot = (frame_at t slot).Hw_phys_mem.data
+
+let release_to_initial t ~count =
+  let n = min count t.full in
+  if n > 0 then begin
+    K.release_frames t.kernel ~seg:t.seg ~page:(t.full - n) ~count:n;
+    t.full <- t.full - n
+  end;
+  n

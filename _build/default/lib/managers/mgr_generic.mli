@@ -1,0 +1,133 @@
+(** Generic segment manager (paper §2.2).
+
+    The paper argues an application manager should be "specialised from a
+    generic or standard segment manager": the generic part provides the
+    free-page segment, fault handling, a second-chance clock over resident
+    pages, writeback and interaction with the system page cache manager;
+    applications override the page-fill, allocation-batch and eviction
+    hooks. {!Mgr_default}, {!Mgr_dbms}, {!Mgr_prefetch} and
+    {!Mgr_coloring} are all such specialisations. *)
+
+type seg_kind =
+  | Anon  (** Heap/stack-like: new pages have no backing data. *)
+  | File of { file_id : int }  (** Cached file: pages back onto blocks. *)
+
+type hooks = {
+  fill :
+    seg:Epcm_segment.id -> page:int -> kind:seg_kind -> high_water:int -> Hw_page_data.t option;
+      (** Data for a missing page, or [None] to hand the frame over as-is
+          (the minimal fault: first heap touch, file append). Default: read
+          the block from backing for [File] pages below the high-water
+          mark, [None] otherwise. *)
+  batch_of : seg:Epcm_segment.id -> page:int -> kind:seg_kind -> high_water:int -> int;
+      (** Pages to allocate on one missing fault (contiguous, single
+          [MigratePages]). Default 1. The default manager returns 4 for
+          file appends — the paper's 16 KB append allocation. *)
+  on_eviction :
+    seg:Epcm_segment.id -> page:int -> dirty:bool -> [ `Writeback | `Discard ];
+      (** Default: [`Writeback] when dirty, [`Discard] otherwise. A
+          Subramanian-style manager discards known-garbage dirty pages. *)
+  reprotect_batch : int;
+      (** Contiguous pages to re-enable on one sampling (protection) fault;
+          the paper's default manager does this "to reduce the overhead of
+          handling these faults". Default 8. *)
+}
+
+val default_hooks : backing:Mgr_backing.t -> hooks
+
+type source = dst:Epcm_segment.id -> dst_page:int -> count:int -> int
+(** Ask the system page cache manager for frames, migrated into
+    [dst_page..] of [dst]; returns how many were granted. *)
+
+exception Out_of_frames of string
+(** No pool frames, the source granted nothing, and nothing was
+    reclaimable. *)
+
+type stats = {
+  mutable fills : int;
+  mutable cow_fills : int;
+  mutable protection_clears : int;
+  mutable reclaimed : int;
+  mutable writebacks : int;
+  mutable discards : int;
+  mutable refill_requests : int;
+  mutable frames_from_source : int;
+  mutable closes : int;
+}
+
+type t
+
+val create :
+  Epcm_kernel.t ->
+  name:string ->
+  mode:Epcm_manager.mode ->
+  backing:Mgr_backing.t ->
+  ?source:source ->
+  ?hooks:hooks ->
+  ?pool_capacity:int ->
+  ?refill_batch:int ->
+  ?reclaim_batch:int ->
+  unit ->
+  t
+(** Registers the manager with the kernel and creates its free-page
+    segment. [pool_capacity] defaults to 1024 slots; [refill_batch] (frames
+    per SPCM request) to 32; [reclaim_batch] to 16. *)
+
+val kernel : t -> Epcm_kernel.t
+val manager_id : t -> Epcm_manager.id
+val pool : t -> Mgr_free_pages.t
+val backing : t -> Mgr_backing.t
+val stats : t -> stats
+
+val adopt : t -> Epcm_segment.id -> kind:seg_kind -> ?high_water:int -> unit -> unit
+(** Take over management of an existing segment ([SetSegmentManager]).
+    [high_water] is the number of pages with valid backing data (file
+    size); defaults to 0 for [Anon] and to the segment length for
+    [File]. *)
+
+val create_segment :
+  t -> name:string -> pages:int -> kind:seg_kind -> ?high_water:int -> unit -> Epcm_segment.id
+(** Create a fresh segment already managed by this manager. *)
+
+val close_segment : t -> Epcm_segment.id -> unit
+(** Destroy the segment; resident frames are reclaimed into the pool
+    (dirty ones written back per the eviction hook). *)
+
+val managed : t -> Epcm_segment.id list
+val high_water : t -> Epcm_segment.id -> int
+
+val ensure_pool : t -> count:int -> unit
+(** Make sure at least [count] frames are pooled, refilling from the
+    source and then reclaiming. Raises {!Out_of_frames}. *)
+
+val reclaim : t -> count:int -> int
+(** Run the clock until [count] frames have been moved into the pool (or
+    the clock finds nothing evictable); returns the number reclaimed. *)
+
+val return_to_system : t -> pages:int -> int
+(** Give frames back to the kernel's initial segment (reclaiming first if
+    the pool is short); the SPCM pressure callback. Returns frames
+    actually returned. *)
+
+val swap_out : t -> int
+(** The §2.2 suspension protocol: evict every unpinned page of every
+    managed segment (dirty data goes to the backing/swap store) and
+    return all pooled frames to the system. Returns frames released. *)
+
+val swap_in : t -> unit
+(** Eagerly fault swapped pages back in (demand faulting would also
+    restore them lazily, with correct data, via the swap-aware fill). *)
+
+val pin : t -> seg:Epcm_segment.id -> page:int -> count:int -> unit
+val unpin : t -> seg:Epcm_segment.id -> page:int -> count:int -> unit
+
+val lock_in_memory : t -> seg:Epcm_segment.id -> unit
+(** The §2.2 initialisation protocol for a manager's own code and data:
+    touch every page to force it in, pin, then re-verify residency,
+    retrying until a pass completes with no fault. *)
+
+val protect_for_sampling : t -> seg:Epcm_segment.id -> unit
+(** Set [no_access] on all resident pages so the next touches fault and
+    reveal the working set (the default manager's clock sampling). *)
+
+val resident : t -> seg:Epcm_segment.id -> int

@@ -1,0 +1,151 @@
+module K = Epcm_kernel
+module Seg = Epcm_segment
+module Mgr = Epcm_manager
+module Flags = Epcm_flags
+module Engine = Sim_engine
+module Gate = Sim_sync.Gate
+module Semaphore = Sim_sync.Semaphore
+
+type seg_info = { file_id : int }
+
+type t = {
+  kern : K.t;
+  mutable mid : Mgr.id;
+  pool : Mgr_free_pages.t;
+  backing : Mgr_backing.t;
+  source : Mgr_generic.source;
+  (* The pool is touched from the faulting process and from prefetch
+     processes; its multi-step operations must not interleave. *)
+  pool_lock : Semaphore.t;
+  segs : (Seg.id, seg_info) Hashtbl.t;
+  pending : (Seg.id * int, Gate.t) Hashtbl.t;
+  mutable prefetches : int;
+  mutable demand_fills : int;
+  mutable absorbed : int;
+  mutable discards : int;
+}
+
+let manager_id t = t.mid
+
+let info t seg =
+  match Hashtbl.find_opt t.segs seg with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Mgr_prefetch: unmanaged segment %d" seg)
+
+let page_absent t seg page =
+  let s = K.segment t.kern seg in
+  Seg.in_range s page && (Seg.page s page).Seg.frame = None
+
+let with_pool t f =
+  Semaphore.acquire t.pool_lock;
+  Fun.protect ~finally:(fun () -> Semaphore.release t.pool_lock) f
+
+(* Fill one page: read the block (disk latency), then take a pooled frame
+   carrying the data into the slot. The pool lock covers only the pool
+   manipulation, not the disk wait. *)
+let fill_page t seg page =
+  let { file_id } = info t seg in
+  let data = Mgr_backing.read_block t.backing ~file:file_id ~block:page in
+  with_pool t (fun () ->
+      if page_absent t seg page then begin
+        if Mgr_free_pages.available t.pool = 0 then begin
+          let got =
+            t.source ~dst:(Mgr_free_pages.segment t.pool)
+              ~dst_page:(Option.value (Mgr_free_pages.grant_slot t.pool) ~default:0)
+              ~count:(min 32 (Mgr_free_pages.room t.pool))
+          in
+          Mgr_free_pages.note_granted t.pool got;
+          if got = 0 then
+            raise (Mgr_generic.Out_of_frames "Mgr_prefetch: no frames for fill")
+        end;
+        Mgr_free_pages.set_next_data t.pool data;
+        let moved =
+          Mgr_free_pages.take_to t.pool ~dst:seg ~dst_page:page ~count:1
+            ~clear_flags:Flags.dirty ()
+        in
+        assert (moved = 1)
+      end)
+
+let on_fault t (fault : Mgr.fault) =
+  let machine = K.machine t.kern in
+  Hw_machine.charge machine machine.Hw_machine.cost.Hw_cost.manager_fault_logic;
+  match fault.Mgr.f_kind with
+  | Mgr.Missing -> (
+      let key = (fault.Mgr.f_seg, fault.Mgr.f_page) in
+      match Hashtbl.find_opt t.pending key with
+      | Some gate ->
+          (* Read-ahead already in flight: just wait for it. *)
+          t.absorbed <- t.absorbed + 1;
+          Gate.wait gate
+      | None ->
+          t.demand_fills <- t.demand_fills + 1;
+          fill_page t fault.Mgr.f_seg fault.Mgr.f_page)
+  | Mgr.Protection | Mgr.Cow_write ->
+      K.modify_page_flags t.kern ~seg:fault.Mgr.f_seg ~page:fault.Mgr.f_page ~count:1
+        ~clear_flags:(Flags.of_list [ Flags.no_access; Flags.read_only ])
+        ()
+
+let create kern ?disk ~source ~pool_capacity () =
+  let disk = Option.value disk ~default:(K.machine kern).Hw_machine.disk in
+  let backing = Mgr_backing.disk disk ~page_bytes:(Hw_machine.page_size (K.machine kern)) in
+  let t =
+    {
+      kern;
+      mid = -1;
+      pool = Mgr_free_pages.create kern ~name:"prefetch.free-pages" ~capacity:pool_capacity;
+      backing;
+      source;
+      pool_lock = Semaphore.create 1;
+      segs = Hashtbl.create 8;
+      pending = Hashtbl.create 64;
+      prefetches = 0;
+      demand_fills = 0;
+      absorbed = 0;
+      discards = 0;
+    }
+  in
+  t.mid <- K.register_manager kern ~name:"prefetch-manager" ~mode:`In_process
+      ~on_fault:(fun f -> on_fault t f) ();
+  t
+
+let create_file_segment t ~name ~file_id ~pages =
+  let seg = K.create_segment t.kern ~name ~pages () in
+  Hashtbl.replace t.segs seg { file_id };
+  K.set_segment_manager t.kern seg t.mid;
+  seg
+
+let prefetch t ~seg ~page ~count =
+  for p = page to page + count - 1 do
+    let key = (seg, p) in
+    if page_absent t seg p && not (Hashtbl.mem t.pending key) then begin
+      let gate = Gate.create () in
+      Hashtbl.replace t.pending key gate;
+      t.prefetches <- t.prefetches + 1;
+      Engine.fork ~name:"prefetch" (fun () ->
+          Fun.protect
+            ~finally:(fun () ->
+              Hashtbl.remove t.pending key;
+              Gate.open_ gate)
+            (fun () -> fill_page t seg p))
+    end
+  done
+
+let discard t ~seg ~page ~count =
+  with_pool t (fun () ->
+      let s = K.segment t.kern seg in
+      for p = page to page + count - 1 do
+        if Seg.in_range s p && (Seg.page s p).Seg.frame <> None then begin
+          (* Dead data: reclaim the frame with no writeback, even if
+             dirty. *)
+          if Mgr_free_pages.room t.pool = 0 then
+            ignore (Mgr_free_pages.release_to_initial t.pool ~count:32);
+          Mgr_free_pages.put_from t.pool ~src:seg ~src_page:p;
+          t.discards <- t.discards + 1
+        end
+      done)
+
+let resident t ~seg = Seg.resident_pages (K.segment t.kern seg)
+let prefetches_started t = t.prefetches
+let demand_fills t = t.demand_fills
+let absorbed_faults t = t.absorbed
+let discards t = t.discards

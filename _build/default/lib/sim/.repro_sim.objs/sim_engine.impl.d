@@ -1,0 +1,1 @@
+lib/sim/sim_engine.ml: Effect Fun Sim_heap Stdlib

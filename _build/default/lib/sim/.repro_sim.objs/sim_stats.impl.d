@@ -1,0 +1,1 @@
+lib/sim/sim_stats.ml: Array Buffer Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/sim/sim_sync.ml: Fun List Queue Sim_engine Sim_stats

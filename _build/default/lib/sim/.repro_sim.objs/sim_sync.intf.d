@@ -1,0 +1,1 @@
+lib/sim/sim_sync.mli: Sim_engine

@@ -1,0 +1,1 @@
+lib/sim/sim_trace.ml: Buffer Format List Queue

@@ -1,0 +1,100 @@
+exception Not_in_process
+
+type t = {
+  mutable clock : float;
+  heap : (unit -> unit) Sim_heap.t;
+  mutable seq : int;
+  mutable live : int;
+  mutable executed : int;
+}
+
+type _ Effect.t +=
+  | E_delay : (t * float) -> unit Effect.t
+  | E_time : t -> float Effect.t
+  | E_suspend : (t * (('a -> unit) -> unit)) -> 'a Effect.t
+  | E_fork : (t * string * (unit -> unit)) -> unit Effect.t
+
+(* The engine a process belongs to is threaded through the effects
+   themselves; [current] lets the zero-argument public API find it. It is a
+   plain ref, not domain-local: simulations are single-domain. *)
+let current : t option ref = ref None
+
+let create () = { clock = 0.0; heap = Sim_heap.create (); seq = 0; live = 0; executed = 0 }
+
+let now t = t.clock
+
+let schedule t ~at thunk =
+  let at = if at < t.clock then t.clock else at in
+  t.seq <- t.seq + 1;
+  Sim_heap.push t.heap ~time:at ~seq:t.seq thunk
+
+let rec start_process t _name body =
+  let open Effect.Deep in
+  t.live <- t.live + 1;
+  match_with body ()
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc =
+        (fun e ->
+          t.live <- t.live - 1;
+          raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_delay (eng, d) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  schedule eng ~at:(eng.clock +. Stdlib.max 0.0 d) (fun () -> continue k ()))
+          | E_time eng -> Some (fun (k : (a, unit) continuation) -> continue k eng.clock)
+          | E_suspend (eng, register) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let resumed = ref false in
+                  register (fun v ->
+                      if !resumed then invalid_arg "Sim_engine: resume called twice";
+                      resumed := true;
+                      schedule eng ~at:eng.clock (fun () -> continue k v)))
+          | E_fork (eng, name, f) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  schedule eng ~at:eng.clock (fun () -> start_process eng name f);
+                  continue k ())
+          | _ -> None);
+    }
+
+let spawn t ?(name = "proc") body = schedule t ~at:t.clock (fun () -> start_process t name body)
+
+let run ?until t =
+  let saved = !current in
+  current := Some t;
+  Fun.protect
+    ~finally:(fun () -> current := saved)
+    (fun () ->
+      let continue_loop = ref true in
+      while !continue_loop do
+        match Sim_heap.pop t.heap with
+        | None -> continue_loop := false
+        | Some (time, _, thunk) -> (
+            match until with
+            | Some limit when time > limit ->
+                (* Push back and stop at the horizon. *)
+                t.seq <- t.seq + 1;
+                Sim_heap.push t.heap ~time ~seq:t.seq thunk;
+                t.clock <- limit;
+                continue_loop := false
+            | _ ->
+                t.clock <- time;
+                t.executed <- t.executed + 1;
+                thunk ())
+      done)
+
+let live_processes t = t.live
+let events_executed t = t.executed
+
+let engine_of_process () =
+  match !current with None -> raise Not_in_process | Some t -> t
+
+let delay d = Effect.perform (E_delay (engine_of_process (), d))
+let time () = Effect.perform (E_time (engine_of_process ()))
+let suspend register = Effect.perform (E_suspend (engine_of_process (), register))
+let fork ?(name = "proc") f = Effect.perform (E_fork (engine_of_process (), name, f))

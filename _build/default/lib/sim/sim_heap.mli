@@ -1,0 +1,21 @@
+(** Binary min-heap keyed by (time, sequence number).
+
+    The sequence number makes event ordering total and FIFO-stable: two
+    events scheduled for the same instant fire in scheduling order, which
+    keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum element, or [None] when empty. *)
+
+val peek_time : 'a t -> float option
+(** Time of the minimum element without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,47 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (int64 t)
+
+let float t =
+  (* Top 53 bits scaled into [0,1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Sim_rng.int: bound must be positive";
+  (* Rejection-free for simulation purposes: modulo bias is negligible for
+     bounds far below 2^63 and determinism matters more than exactness. *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  v mod bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+let bernoulli t p = float t < p
+
+let exponential t ~mean =
+  let u = float t in
+  -.mean *. log1p (-.u)
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Sim_rng.choice: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

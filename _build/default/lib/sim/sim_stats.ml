@@ -1,0 +1,167 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min_v : float;
+    mutable max_v : float;
+    mutable total : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity; total = 0.0 }
+
+  let add t x =
+    t.count <- t.count + 1;
+    t.total <- t.total +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0.0 else t.mean
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.min_v
+  let max t = t.max_v
+  let total t = t.total
+
+  let merge a b =
+    if a.count = 0 then { b with count = b.count }
+    else if b.count = 0 then { a with count = a.count }
+    else begin
+      let n = a.count + b.count in
+      let fa = float_of_int a.count and fb = float_of_int b.count in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. fb /. float_of_int n) in
+      let m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. float_of_int n) in
+      {
+        count = n;
+        mean;
+        m2;
+        min_v = Stdlib.min a.min_v b.min_v;
+        max_v = Stdlib.max a.max_v b.max_v;
+        total = a.total +. b.total;
+      }
+    end
+end
+
+module Series = struct
+  type t = {
+    mutable data : float array;
+    mutable len : int;
+    summary : Summary.t;
+  }
+
+  let create () = { data = Array.make 64 0.0; len = 0; summary = Summary.create () }
+
+  let add t x =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) 0.0 in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1;
+    Summary.add t.summary x
+
+  let count t = t.len
+  let mean t = Summary.mean t.summary
+  let min t = Summary.min t.summary
+  let max t = Summary.max t.summary
+
+  let percentile t p =
+    if t.len = 0 then invalid_arg "Sim_stats.Series.percentile: empty series";
+    let sorted = Array.sub t.data 0 t.len in
+    Array.sort compare sorted;
+    let rank =
+      int_of_float (ceil (p /. 100.0 *. float_of_int t.len)) - 1
+    in
+    let rank = Stdlib.max 0 (Stdlib.min (t.len - 1) rank) in
+    sorted.(rank)
+
+  let to_array t = Array.sub t.data 0 t.len
+  let summary t = t.summary
+end
+
+module Histogram = struct
+  type t = {
+    lo : float;
+    hi : float;
+    bins : int array;
+    mutable underflow : int;
+    mutable overflow : int;
+  }
+
+  let create ~lo ~hi ~bins =
+    if bins <= 0 then invalid_arg "Sim_stats.Histogram.create: bins must be positive";
+    if hi <= lo then invalid_arg "Sim_stats.Histogram.create: hi must exceed lo";
+    { lo; hi; bins = Array.make bins 0; underflow = 0; overflow = 0 }
+
+  let add t x =
+    if x < t.lo then t.underflow <- t.underflow + 1
+    else if x >= t.hi then t.overflow <- t.overflow + 1
+    else begin
+      let n = Array.length t.bins in
+      let i = int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int n) in
+      let i = Stdlib.min (n - 1) i in
+      t.bins.(i) <- t.bins.(i) + 1
+    end
+
+  let counts t = Array.copy t.bins
+  let underflow t = t.underflow
+  let overflow t = t.overflow
+  let total t = Array.fold_left ( + ) (t.underflow + t.overflow) t.bins
+
+  let bin_bounds t i =
+    let n = Array.length t.bins in
+    if i < 0 || i >= n then invalid_arg "Sim_stats.Histogram.bin_bounds";
+    let w = (t.hi -. t.lo) /. float_of_int n in
+    (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
+
+  let render t ~width =
+    let buf = Buffer.create 256 in
+    let max_count = Array.fold_left Stdlib.max 1 t.bins in
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          let lo, hi = bin_bounds t i in
+          let bar = String.make (c * width / max_count) '#' in
+          Buffer.add_string buf (Printf.sprintf "[%10.1f,%10.1f) %6d %s\n" lo hi c bar)
+        end)
+      t.bins;
+    if t.underflow > 0 then
+      Buffer.add_string buf (Printf.sprintf "underflow %d\n" t.underflow);
+    if t.overflow > 0 then Buffer.add_string buf (Printf.sprintf "overflow %d\n" t.overflow);
+    Buffer.contents buf
+end
+
+module Time_weighted = struct
+  type t = {
+    mutable last_time : float;
+    mutable current : float;
+    mutable integral : float;
+    start : float;
+  }
+
+  let create ~now ~init = { last_time = now; current = init; integral = 0.0; start = now }
+
+  let advance t now =
+    if now > t.last_time then begin
+      t.integral <- t.integral +. (t.current *. (now -. t.last_time));
+      t.last_time <- now
+    end
+
+  let set t ~now v =
+    advance t now;
+    t.current <- v
+
+  let value t = t.current
+
+  let average t ~now =
+    advance t now;
+    let elapsed = t.last_time -. t.start in
+    if elapsed <= 0.0 then t.current else t.integral /. elapsed
+end

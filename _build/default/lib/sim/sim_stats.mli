@@ -1,0 +1,78 @@
+(** Statistics accumulators used by the experiment runners. *)
+
+(** Streaming summary: count, mean (Welford), variance, min, max. Constant
+    memory; suitable for long simulations. *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  (** Sample variance; 0 when fewer than two observations. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [infinity] when empty. *)
+
+  val max : t -> float
+  (** [neg_infinity] when empty. *)
+
+  val total : t -> float
+  val merge : t -> t -> t
+  (** Combine two summaries as if all observations were added to one. *)
+end
+
+(** Full-sample series: keeps every observation, supports exact percentiles.
+    Used for response-time distributions where the paper reports worst case. *)
+module Series : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [0,100]; nearest-rank on the sorted
+      sample. Raises [Invalid_argument] when empty. *)
+
+  val to_array : t -> float array
+  (** Copy of the observations in insertion order. *)
+
+  val summary : t -> Summary.t
+end
+
+(** Fixed-bin histogram over [lo, hi); out-of-range values land in the
+    underflow/overflow counters. *)
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  val add : t -> float -> unit
+  val counts : t -> int array
+  val underflow : t -> int
+  val overflow : t -> int
+  val total : t -> int
+  val bin_bounds : t -> int -> float * float
+  (** Bounds of bin [i]. *)
+
+  val render : t -> width:int -> string
+  (** ASCII rendering, one line per non-empty bin. *)
+end
+
+(** Time-weighted average of a piecewise-constant quantity (e.g. busy
+    servers, allocated frames): the integral of the value over time divided
+    by elapsed time. *)
+module Time_weighted : sig
+  type t
+
+  val create : now:float -> init:float -> t
+  val set : t -> now:float -> float -> unit
+  val value : t -> float
+  val average : t -> now:float -> float
+end

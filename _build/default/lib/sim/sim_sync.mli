@@ -1,0 +1,69 @@
+(** Synchronisation primitives for simulated processes.
+
+    All blocking operations must be called from inside a process body
+    (see {!Sim_engine}). *)
+
+(** Counting semaphore with FIFO wake-up. *)
+module Semaphore : sig
+  type t
+
+  val create : int -> t
+  val available : t -> int
+  val waiting : t -> int
+  val acquire : t -> unit
+  val try_acquire : t -> bool
+  val release : t -> unit
+end
+
+(** A pool of identical servers (CPUs, disk arms) with utilisation
+    accounting. [use] brackets a critical section. *)
+module Resource : sig
+  type t
+
+  val create : Sim_engine.t -> capacity:int -> t
+  val capacity : t -> int
+  val in_use : t -> int
+  val waiting : t -> int
+  val use : t -> (unit -> 'a) -> 'a
+  (** Acquire a server (waiting FIFO if all busy), run the thunk, release. *)
+
+  val utilisation : t -> float
+  (** Time-weighted fraction of servers busy since creation, in [0,1]. *)
+end
+
+(** Unbounded FIFO channel of values between processes. *)
+module Mailbox : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val send : 'a t -> 'a -> unit
+  (** Never blocks. *)
+
+  val recv : 'a t -> 'a
+  (** Blocks until a value is available. *)
+
+  val try_recv : 'a t -> 'a option
+  val length : 'a t -> int
+end
+
+(** One-shot broadcast gate: processes wait until it is opened, after which
+    all waits return immediately. *)
+module Gate : sig
+  type t
+
+  val create : unit -> t
+  val wait : t -> unit
+  val open_ : t -> unit
+  val is_open : t -> bool
+end
+
+(** Condition variable: [await c] blocks until some later [signal_all c].
+    Unlike {!Gate}, it can be signalled repeatedly. *)
+module Condition : sig
+  type t
+
+  val create : unit -> t
+  val await : t -> unit
+  val signal_all : t -> unit
+  val waiting : t -> int
+end

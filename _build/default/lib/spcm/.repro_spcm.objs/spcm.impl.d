@@ -1,0 +1,1 @@
+lib/spcm/spcm.ml: Epcm_kernel Epcm_manager Epcm_segment Fun Hashtbl Hw_cost Hw_machine Hw_phys_mem List Printf Sim_sync Spcm_market

@@ -1,0 +1,1 @@
+lib/spcm/spcm.mli: Epcm_kernel Epcm_manager Epcm_segment Mgr_generic Spcm_market

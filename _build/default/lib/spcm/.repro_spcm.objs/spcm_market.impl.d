@@ -1,0 +1,1 @@
+lib/spcm/spcm_market.ml: Float Hashtbl List Option Printf

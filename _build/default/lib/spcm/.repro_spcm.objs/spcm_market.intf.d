@@ -1,0 +1,1 @@
+lib/spcm/spcm_market.mli:

@@ -1,0 +1,262 @@
+module K = Epcm_kernel
+module Seg = Epcm_segment
+module Phys = Hw_phys_mem
+
+type constraint_ =
+  | Unconstrained
+  | Color of int
+  | Phys_range of { lo_addr : int; hi_addr : int }
+
+type decision = Granted of int | Deferred | Refused
+
+type client_id = int
+
+type client_stats = {
+  cs_requests : int;
+  cs_granted_frames : int;
+  cs_deferred : int;
+  cs_refused : int;
+  cs_holding : int;
+}
+
+type client = {
+  cl_id : client_id;
+  cl_name : string;
+  cl_account : Spcm_market.account_id;
+  cl_manager : Epcm_manager.id option;
+  mutable cl_requests : int;
+  mutable cl_granted : int;
+  mutable cl_deferred : int;
+  mutable cl_refused : int;
+  mutable cl_holding : int;
+}
+
+type t = {
+  kern : K.t;
+  market : Spcm_market.t;
+  horizon : float;
+  clients : (client_id, client) Hashtbl.t;
+  mutable next_client : int;
+  mutable demand : bool;
+  (* The SPCM is a single-threaded server process: requests from
+     concurrent clients are serialised, which also keeps multi-step grant
+     scans atomic with respect to the simulation clock. *)
+  serving : Sim_sync.Semaphore.t;
+}
+
+let create kern ?market ?(affordability_horizon = 10.0) () =
+  let page_size = Hw_machine.page_size (K.machine kern) in
+  {
+    kern;
+    market = Spcm_market.create ?config:market ~page_size ();
+    horizon = affordability_horizon;
+    clients = Hashtbl.create 16;
+    next_client = 1;
+    demand = false;
+    serving = Sim_sync.Semaphore.create 1;
+  }
+
+let kernel t = t.kern
+let market t = t.market
+let now_us t = Hw_machine.now (K.machine t.kern)
+
+let register_client ?income ?manager t ~name () =
+  let id = t.next_client in
+  t.next_client <- t.next_client + 1;
+  let account = Spcm_market.open_account ?income t.market ~name ~now_us:(now_us t) in
+  Hashtbl.replace t.clients id
+    {
+      cl_id = id;
+      cl_name = name;
+      cl_account = account;
+      cl_manager = manager;
+      cl_requests = 0;
+      cl_granted = 0;
+      cl_deferred = 0;
+      cl_refused = 0;
+      cl_holding = 0;
+    };
+  id
+
+let client t id =
+  match Hashtbl.find_opt t.clients id with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Spcm.client: no client %d" id)
+
+let account_of t id = Spcm_market.account t.market (client t id).cl_account
+
+let settle t = Spcm_market.settle t.market ~now_us:(now_us t)
+
+let pending_demand t = t.demand
+
+(* The SPCM is a server process: each request costs an IPC round trip. *)
+let charge_rpc t =
+  let c = (K.machine t.kern).Hw_machine.cost in
+  Hw_machine.charge (K.machine t.kern)
+    (c.Hw_cost.ipc_send +. c.Hw_cost.context_switch +. c.Hw_cost.manager_server_dispatch
+   +. c.Hw_cost.ipc_reply +. c.Hw_cost.context_switch)
+
+(* Free frames live in the kernel's initial segment. *)
+let free_slots t ~constraint_ ~limit =
+  let init = K.segment t.kern (K.initial_segment t.kern) in
+  let mem = (K.machine t.kern).Hw_machine.mem in
+  let matches frame_idx =
+    match constraint_ with
+    | Unconstrained -> true
+    | Color c -> (Phys.frame mem frame_idx).Phys.color = c
+    | Phys_range { lo_addr; hi_addr } ->
+        let addr = (Phys.frame mem frame_idx).Phys.addr in
+        addr >= lo_addr && addr < hi_addr
+  in
+  let acc = ref [] and found = ref 0 in
+  let n = Seg.length init in
+  let slot = ref 0 in
+  while !found < limit && !slot < n do
+    (match (Seg.page init !slot).Seg.frame with
+    | Some f when matches f ->
+        acc := !slot :: !acc;
+        incr found
+    | Some _ | None -> ());
+    incr slot
+  done;
+  List.rev !acc
+
+let free_frames t =
+  Seg.resident_pages (K.segment t.kern (K.initial_segment t.kern))
+
+let grant_slots t cl ~dst ~dst_page slots =
+  let init = K.initial_segment t.kern in
+  List.iteri
+    (fun i slot ->
+      K.migrate_pages t.kern ~src:init ~dst ~src_page:slot ~dst_page:(dst_page + i) ~count:1 ())
+    slots;
+  let n = List.length slots in
+  cl.cl_granted <- cl.cl_granted + n;
+  cl.cl_holding <- cl.cl_holding + n;
+  Spcm_market.note_holding_change t.market cl.cl_account ~delta_pages:n ~now_us:(now_us t);
+  n
+
+let reclaim_from_clients t ~need ~exempt =
+  let recovered = ref 0 in
+  let victims =
+    Hashtbl.fold (fun _ c acc -> c :: acc) t.clients []
+    |> List.filter (fun c -> Some c.cl_id <> exempt && c.cl_manager <> None && c.cl_holding > 0)
+    (* Take from the largest holders first. *)
+    |> List.sort (fun a b -> compare b.cl_holding a.cl_holding)
+  in
+  List.iter
+    (fun c ->
+      if !recovered < need then
+        match c.cl_manager with
+        | None -> ()
+        | Some mid ->
+            let m = K.manager t.kern mid in
+            let ask = min (need - !recovered) c.cl_holding in
+            let returned = m.Epcm_manager.on_pressure ~pages:ask in
+            let returned = max 0 (min returned ask) in
+            c.cl_holding <- c.cl_holding - returned;
+            Spcm_market.note_holding_change t.market c.cl_account ~delta_pages:(-returned)
+              ~now_us:(now_us t);
+            recovered := !recovered + returned)
+    victims;
+  !recovered
+
+let force_bankrupt_returns t =
+  let recovered = ref 0 in
+  Hashtbl.iter
+    (fun _ c ->
+      if c.cl_holding > 0 && Spcm_market.bankrupt t.market c.cl_account then
+        match c.cl_manager with
+        | None -> ()
+        | Some mid ->
+            let m = K.manager t.kern mid in
+            let returned = m.Epcm_manager.on_pressure ~pages:c.cl_holding in
+            let returned = max 0 (min returned c.cl_holding) in
+            c.cl_holding <- c.cl_holding - returned;
+            Spcm_market.note_holding_change t.market c.cl_account ~delta_pages:(-returned)
+              ~now_us:(now_us t);
+            recovered := !recovered + returned)
+    t.clients;
+  !recovered
+
+let serialised t f =
+  Sim_sync.Semaphore.acquire t.serving;
+  Fun.protect ~finally:(fun () -> Sim_sync.Semaphore.release t.serving) f
+
+let request t ~client:cid ~dst ~dst_page ~count ?(constraint_ = Unconstrained) () =
+  if count <= 0 then invalid_arg "Spcm.request: count must be positive";
+  serialised t @@ fun () ->
+  let cl = client t cid in
+  cl.cl_requests <- cl.cl_requests + 1;
+  charge_rpc t;
+  t.demand <- true;
+  Spcm_market.set_demand t.market true;
+  settle t;
+  let affordable =
+    Spcm_market.can_afford t.market cl.cl_account ~pages:count ~seconds:t.horizon
+  in
+  if not affordable then begin
+    cl.cl_refused <- cl.cl_refused + 1;
+    Refused
+  end
+  else begin
+    let slots = free_slots t ~constraint_ ~limit:count in
+    let slots =
+      if List.length slots >= count then slots
+      else begin
+        (* Short: claw back from other clients, then rescan. The paper has
+           the SPCM "force the return of memory" when needed. *)
+        let missing = count - List.length slots in
+        ignore (reclaim_from_clients t ~need:missing ~exempt:(Some cid));
+        free_slots t ~constraint_ ~limit:count
+      end
+    in
+    match slots with
+    | [] ->
+        cl.cl_deferred <- cl.cl_deferred + 1;
+        Deferred
+    | _ ->
+        let n = grant_slots t cl ~dst ~dst_page slots in
+        Granted n
+  end
+
+let return_pages t ~client:cid ~seg ~page ~count =
+  serialised t @@ fun () ->
+  let cl = client t cid in
+  let before = free_frames t in
+  K.release_frames t.kern ~seg ~page ~count;
+  let returned = free_frames t - before in
+  let returned = min returned cl.cl_holding in
+  cl.cl_holding <- cl.cl_holding - returned;
+  Spcm_market.note_holding_change t.market cl.cl_account ~delta_pages:(-returned)
+    ~now_us:(now_us t);
+  if free_frames t > 0 then begin
+    t.demand <- false;
+    Spcm_market.set_demand t.market false
+  end
+
+let note_returned t ~client:cid ~count =
+  let cl = client t cid in
+  let returned = min count cl.cl_holding in
+  cl.cl_holding <- cl.cl_holding - returned;
+  Spcm_market.note_holding_change t.market cl.cl_account ~delta_pages:(-returned)
+    ~now_us:(now_us t);
+  if free_frames t > 0 then begin
+    t.demand <- false;
+    Spcm_market.set_demand t.market false
+  end
+
+let source_for t cid ~dst ~dst_page ~count =
+  match request t ~client:cid ~dst ~dst_page ~count () with
+  | Granted n -> n
+  | Deferred | Refused -> 0
+
+let client_stats t cid =
+  let c = client t cid in
+  {
+    cs_requests = c.cl_requests;
+    cs_granted_frames = c.cl_granted;
+    cs_deferred = c.cl_deferred;
+    cs_refused = c.cl_refused;
+    cs_holding = c.cl_holding;
+  }

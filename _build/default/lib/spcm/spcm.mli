@@ -1,0 +1,86 @@
+(** The System Page Cache Manager (paper §2.4): a process-level module that
+    allocates the global memory pool among segment managers.
+
+    Managers request page frames; the SPCM grants, defers or refuses based
+    on availability and the dram market. Requests may be constrained by
+    cache color or physical address range (for page coloring and placement
+    control); when a constrained request cannot be fully satisfied it is
+    treated like an oversized conventional request — the SPCM grants as
+    many frames as it can. When the pool runs short, the SPCM claws frames
+    back from other clients through their pressure callbacks, and it can
+    force memory out of bankrupt accounts. *)
+
+type constraint_ =
+  | Unconstrained
+  | Color of int
+  | Phys_range of { lo_addr : int; hi_addr : int }
+
+type decision =
+  | Granted of int  (** Frames migrated into the requested destination. *)
+  | Deferred  (** Nothing available now; retry after others release. *)
+  | Refused  (** The client's dram balance cannot carry the allocation. *)
+
+type client_id = int
+
+type client_stats = {
+  cs_requests : int;
+  cs_granted_frames : int;
+  cs_deferred : int;
+  cs_refused : int;
+  cs_holding : int;
+}
+
+type t
+
+val create : Epcm_kernel.t -> ?market:Spcm_market.config -> ?affordability_horizon:float -> unit -> t
+(** [affordability_horizon] (seconds, default 10) is how long a client must
+    be able to pay for a grant before it is approved. *)
+
+val kernel : t -> Epcm_kernel.t
+val market : t -> Spcm_market.t
+
+val register_client :
+  ?income:float -> ?manager:Epcm_manager.id -> t -> name:string -> unit -> client_id
+(** [manager] is the client's segment manager, used for pressure callbacks
+    when the SPCM must reclaim. *)
+
+val request :
+  t ->
+  client:client_id ->
+  dst:Epcm_segment.id ->
+  dst_page:int ->
+  count:int ->
+  ?constraint_:constraint_ ->
+  unit ->
+  decision
+(** Grant up to [count] frames, migrating them into [dst] at
+    [dst_page ..]. Partial grants return [Granted n] with [n < count]. *)
+
+val source_for : t -> client_id -> Mgr_generic.source
+(** Adapter: a {!Mgr_generic.source} that issues unconstrained requests on
+    behalf of the client (granted-or-zero; defers/refusals read as 0). *)
+
+val free_frames : t -> int
+(** Frames currently in the kernel's initial segment. *)
+
+val return_pages : t -> client:client_id -> seg:Epcm_segment.id -> page:int -> count:int -> unit
+(** A client gives frames back ([release_frames] + market bookkeeping). *)
+
+val note_returned : t -> client:client_id -> count:int -> unit
+(** Market bookkeeping for frames a client's manager released to the
+    initial segment directly (e.g. {!Mgr_generic.swap_out} at the end of a
+    batch time slice): decrement holdings without moving frames. *)
+
+val reclaim_from_clients : t -> need:int -> exempt:client_id option -> int
+(** Ask other clients' managers to surrender frames (the managers choose
+    which pages — paper §4). Returns frames recovered. *)
+
+val force_bankrupt_returns : t -> int
+(** Treat bankrupt accounts as faulty: demand their entire holdings. *)
+
+val settle : t -> unit
+(** Run market settlement at the machine's current time. *)
+
+val client_stats : t -> client_id -> client_stats
+val account_of : t -> client_id -> Spcm_market.account
+val pending_demand : t -> bool

@@ -1,0 +1,123 @@
+type config = {
+  charge_rate : float;
+  default_income : float;
+  savings_tax_rate : float;
+  savings_tax_threshold : float;
+  io_charge : float;
+  free_when_idle : bool;
+}
+
+let default_config =
+  {
+    charge_rate = 1.0;
+    default_income = 10.0;
+    savings_tax_rate = 0.01;
+    savings_tax_threshold = 100.0;
+    io_charge = 0.01;
+    free_when_idle = true;
+  }
+
+type account_id = int
+
+type account = {
+  acc_id : account_id;
+  acc_name : string;
+  mutable income : float;
+  mutable balance : float;
+  mutable holding_pages : int;
+  mutable last_settle_us : float;
+  mutable total_charged : float;
+  mutable total_taxed : float;
+  mutable total_income : float;
+  mutable io_ops : int;
+}
+
+type t = {
+  cfg : config;
+  page_size : int;
+  table : (account_id, account) Hashtbl.t;
+  mutable next_id : int;
+  mutable demand : bool;
+}
+
+let create ?(config = default_config) ~page_size () =
+  if page_size <= 0 then invalid_arg "Spcm_market.create: page_size must be positive";
+  { cfg = config; page_size; table = Hashtbl.create 16; next_id = 1; demand = false }
+
+let config t = t.cfg
+
+let open_account ?income t ~name ~now_us =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.table id
+    {
+      acc_id = id;
+      acc_name = name;
+      income = Option.value income ~default:t.cfg.default_income;
+      balance = 0.0;
+      holding_pages = 0;
+      last_settle_us = now_us;
+      total_charged = 0.0;
+      total_taxed = 0.0;
+      total_income = 0.0;
+      io_ops = 0;
+    };
+  id
+
+let account t id =
+  match Hashtbl.find_opt t.table id with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Spcm_market.account: no account %d" id)
+
+let accounts t =
+  Hashtbl.fold (fun _ a acc -> a :: acc) t.table []
+  |> List.sort (fun a b -> compare a.acc_id b.acc_id)
+
+let megabytes t pages = float_of_int (pages * t.page_size) /. (1024.0 *. 1024.0)
+
+let holding_cost_per_second t ~pages = megabytes t pages *. t.cfg.charge_rate
+
+let settle_account t a ~now_us =
+  let dt = (now_us -. a.last_settle_us) /. 1_000_000.0 in
+  if dt > 0.0 then begin
+    a.last_settle_us <- now_us;
+    let earned = a.income *. dt in
+    a.balance <- a.balance +. earned;
+    a.total_income <- a.total_income +. earned;
+    if t.demand || not t.cfg.free_when_idle then begin
+      let charge = holding_cost_per_second t ~pages:a.holding_pages *. dt in
+      a.balance <- a.balance -. charge;
+      a.total_charged <- a.total_charged +. charge
+    end;
+    let excess = a.balance -. t.cfg.savings_tax_threshold in
+    if excess > 0.0 then begin
+      let tax = excess *. t.cfg.savings_tax_rate *. dt in
+      let tax = Float.min tax excess in
+      a.balance <- a.balance -. tax;
+      a.total_taxed <- a.total_taxed +. tax
+    end
+  end
+
+let settle t ~now_us = Hashtbl.iter (fun _ a -> settle_account t a ~now_us) t.table
+
+let set_demand t d = t.demand <- d
+
+let note_holding_change t id ~delta_pages ~now_us =
+  let a = account t id in
+  settle_account t a ~now_us;
+  let updated = a.holding_pages + delta_pages in
+  if updated < 0 then invalid_arg "Spcm_market.note_holding_change: negative holdings";
+  a.holding_pages <- updated
+
+let note_io t id ~ops =
+  let a = account t id in
+  a.io_ops <- a.io_ops + ops;
+  a.balance <- a.balance -. (float_of_int ops *. t.cfg.io_charge)
+
+let can_afford t id ~pages ~seconds =
+  let a = account t id in
+  let cost = holding_cost_per_second t ~pages:(a.holding_pages + pages) *. seconds in
+  let accrued = a.income *. seconds in
+  a.balance +. accrued >= cost
+
+let bankrupt t id = (account t id).balance < 0.0

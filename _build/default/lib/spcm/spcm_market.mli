@@ -1,0 +1,74 @@
+(** The memory market (paper §2.4).
+
+    The SPCM charges a process [M * D * T] {e drams} for holding M
+    megabytes over T seconds at charging rate D, pays each process an
+    income of I drams per second, taxes savings so demand cannot
+    indefinitely bank ahead of a fixed supply, and charges for I/O so
+    scan-structured programs cannot dodge the memory charge by thrashing.
+    Processes that exhaust their dram supply are treated as faulty and
+    forced to return memory.
+
+    Time is supplied by the caller in {e microseconds} (the simulation
+    clock); rates in the config are per second. *)
+
+type config = {
+  charge_rate : float;  (** D: drams per megabyte-second of holding. *)
+  default_income : float;  (** I: drams per second per account. *)
+  savings_tax_rate : float;
+      (** Fraction of the balance above the threshold confiscated per
+          second. *)
+  savings_tax_threshold : float;
+  io_charge : float;  (** Drams per I/O operation. *)
+  free_when_idle : bool;
+      (** Holdings are free while there are no outstanding requests
+          ("continue to use memory at no charge when there are no
+          outstanding memory requests"). *)
+}
+
+val default_config : config
+
+type account_id = int
+
+type account = {
+  acc_id : account_id;
+  acc_name : string;
+  mutable income : float;  (** drams per second *)
+  mutable balance : float;
+  mutable holding_pages : int;
+  mutable last_settle_us : float;
+  mutable total_charged : float;
+  mutable total_taxed : float;
+  mutable total_income : float;
+  mutable io_ops : int;
+}
+
+type t
+
+val create : ?config:config -> page_size:int -> unit -> t
+val config : t -> config
+
+val open_account : ?income:float -> t -> name:string -> now_us:float -> account_id
+val account : t -> account_id -> account
+val accounts : t -> account list
+
+val settle : t -> now_us:float -> unit
+(** Accrue income, charge for holdings (unless idle and [free_when_idle]),
+    and apply the savings tax, for every account, up to [now_us]. *)
+
+val set_demand : t -> bool -> unit
+(** Whether any memory requests are outstanding (drives the free-when-idle
+    rule). *)
+
+val note_holding_change : t -> account_id -> delta_pages:int -> now_us:float -> unit
+(** Settle the account, then adjust its holdings. *)
+
+val note_io : t -> account_id -> ops:int -> unit
+
+val can_afford : t -> account_id -> pages:int -> seconds:float -> bool
+(** Would the account's balance cover holding [pages] more pages for
+    [seconds], at current income? (Balance + income accrual vs charge.) *)
+
+val bankrupt : t -> account_id -> bool
+(** Balance below zero — the SPCM may force memory return. *)
+
+val holding_cost_per_second : t -> pages:int -> float

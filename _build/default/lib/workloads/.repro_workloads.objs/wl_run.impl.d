@@ -1,0 +1,1 @@
+lib/workloads/wl_run.ml: Epcm_kernel Epcm_manager Epcm_segment Hashtbl Hw_cost Hw_machine Hw_page_data Hw_page_table Hw_tlb List Mgr_default Mgr_generic Option Sim_engine Uvm Wl_trace

@@ -1,0 +1,1 @@
+lib/workloads/wl_run.mli: Wl_trace

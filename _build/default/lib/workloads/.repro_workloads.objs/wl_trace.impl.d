@@ -1,0 +1,1 @@
+lib/workloads/wl_trace.ml: Format List

@@ -1,0 +1,19 @@
+(** The three Table 2–3 applications as VM-activity traces.
+
+    File sizes come straight from the paper (§3.2): diff compares two
+    200 KB files producing 240 KB of differences; uncompress expands an
+    800 KB file to 2 MB; latex formats a 100 KB document into 23 pages.
+    Heap sizes and compute times are calibrated so that the V++ manager
+    activity matches Table 3 (379/197/250 manager calls, 372/195/238
+    MigratePages) and the Ultrix elapsed times match Table 2; see
+    EXPERIMENTS.md for the calibration notes. *)
+
+val diff : Wl_trace.t
+val uncompress : Wl_trace.t
+val latex : Wl_trace.t
+val all : Wl_trace.t list
+
+(** Expected Table 3 targets, for tests. *)
+
+val expected_manager_calls : Wl_trace.t -> int
+val expected_migrate_calls : Wl_trace.t -> int

@@ -1,0 +1,36 @@
+(** Run an application trace on each kernel and collect the Table 2/3
+    measurements.
+
+    Setup reproduces the paper's §3.2 conditions: input files are cached
+    before the measured region starts (no disk or network I/O inside the
+    measurement), and the V++ default manager's free-page pool is warm, so
+    every measured fault is the minimal kind. *)
+
+type vpp_result = {
+  v_elapsed_s : float;  (** Includes the calibrated library delta. *)
+  v_vm_elapsed_s : float;  (** Simulated time only (no library delta). *)
+  v_manager_calls : int;
+  v_migrate_calls : int;
+  v_manager_overhead_ms : float;
+      (** The paper's Table 3 metric: (V++ default-manager fault − Ultrix
+          fault) × manager calls. *)
+  v_uio_reads : int;
+  v_uio_writes : int;
+  (* substrate visibility: the V++ 64K mapping hash and the TLB *)
+  v_tlb_hit_rate : float;
+  v_pt_hits : int;
+  v_pt_misses : int;
+  v_pt_collisions : int;
+  v_pt_resident : int;
+}
+
+type ultrix_result = {
+  u_elapsed_s : float;
+  u_faults : int;
+  u_zero_fills : int;
+  u_read_calls : int;
+  u_write_calls : int;
+}
+
+val run_vpp : ?seed:int64 -> Wl_trace.t -> vpp_result
+val run_ultrix : ?seed:int64 -> Wl_trace.t -> ultrix_result

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Exp_ablations Exp_figures Exp_report Exp_substrate Exp_table1 Exp_table2 Exp_table3 Exp_table4 Float List String

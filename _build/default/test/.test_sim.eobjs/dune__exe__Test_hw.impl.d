@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Hw_cache Hw_disk Hw_page_data Hw_page_table Hw_phys_mem Hw_tlb List QCheck QCheck_alcotest Sim_engine

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Buffer Fun Int64 List Printf QCheck QCheck_alcotest Sim_engine Sim_heap Sim_rng Sim_stats Sim_sync Sim_trace String

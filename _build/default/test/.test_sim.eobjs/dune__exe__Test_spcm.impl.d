@@ -1,0 +1,1 @@
+test/test_spcm.ml: Alcotest Array Epcm_kernel Epcm_segment Hw_machine Hw_phys_mem List Option Spcm Spcm_market

@@ -1,0 +1,1 @@
+test/test_ultrix.ml: Alcotest Float Hw_machine List QCheck QCheck_alcotest Sim_engine Uvm

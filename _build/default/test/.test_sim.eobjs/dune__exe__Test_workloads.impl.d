@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Float List Wl_apps Wl_run Wl_trace

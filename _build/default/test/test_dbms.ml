@@ -1,0 +1,458 @@
+(* Tests for the database substrate: the hierarchical lock manager and the
+   transaction engine. *)
+
+module L = Db_locks
+module Engine = Sim_engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Compatibility matrix                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_compat_matrix () =
+  let expect a b v =
+    check_bool
+      (Format.asprintf "%a/%a" L.pp_mode a L.pp_mode b)
+      v (L.compatible a b)
+  in
+  expect L.IS L.IS true;
+  expect L.IS L.IX true;
+  expect L.IS L.S true;
+  expect L.IS L.X false;
+  expect L.IX L.IX true;
+  expect L.IX L.S false;
+  expect L.IX L.X false;
+  expect L.S L.S true;
+  expect L.S L.X false;
+  expect L.X L.X false
+
+let prop_compat_symmetric =
+  let mode_gen = QCheck.oneofl [ L.IS; L.IX; L.S; L.X ] in
+  QCheck.Test.make ~name:"lock compatibility is symmetric" ~count:100
+    QCheck.(pair mode_gen mode_gen)
+    (fun (a, b) -> L.compatible a b = L.compatible b a)
+
+let test_covers () =
+  check_bool "X covers S" true (L.covers ~held:L.X ~wanted:L.S);
+  check_bool "S covers IS" true (L.covers ~held:L.S ~wanted:L.IS);
+  check_bool "IX covers IS" true (L.covers ~held:L.IX ~wanted:L.IS);
+  check_bool "S does not cover IX" false (L.covers ~held:L.S ~wanted:L.IX);
+  check_bool "IS does not cover S" false (L.covers ~held:L.IS ~wanted:L.S)
+
+(* ------------------------------------------------------------------ *)
+(* Blocking behaviour                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_exclusive_blocks_and_fifo () =
+  let e = Engine.create () in
+  let locks = L.create () in
+  let order = ref [] in
+  Engine.spawn e (fun () ->
+      L.acquire locks ~txn:1 L.Database L.X;
+      Engine.delay 100.0;
+      order := "t1-release" :: !order;
+      L.release_all locks ~txn:1);
+  Engine.spawn e (fun () ->
+      Engine.delay 10.0;
+      L.acquire locks ~txn:2 L.Database L.X;
+      order := "t2-got" :: !order;
+      L.release_all locks ~txn:2);
+  Engine.spawn e (fun () ->
+      Engine.delay 20.0;
+      L.acquire locks ~txn:3 L.Database L.X;
+      order := "t3-got" :: !order;
+      L.release_all locks ~txn:3);
+  Engine.run e;
+  Alcotest.(check (list string))
+    "FIFO grant order" [ "t1-release"; "t2-got"; "t3-got" ] (List.rev !order);
+  check_int "blocked twice in total" 2 (L.total_blocked locks)
+
+let test_shared_coexist () =
+  let e = Engine.create () in
+  let locks = L.create () in
+  let concurrently = ref 0 and peak = ref 0 in
+  for t = 1 to 3 do
+    Engine.spawn e (fun () ->
+        L.acquire locks ~txn:t (L.Relation 1) L.S;
+        incr concurrently;
+        if !concurrently > !peak then peak := !concurrently;
+        Engine.delay 50.0;
+        decr concurrently;
+        L.release_all locks ~txn:t)
+  done;
+  Engine.run e;
+  check_int "all shared at once" 3 !peak;
+  check_int "nobody blocked" 0 (L.total_blocked locks)
+
+let test_intention_hierarchy_conflict () =
+  (* The Table 4 mechanism: X on the database node blocks every IX
+     acquirer (the index latch convoy). *)
+  let e = Engine.create () in
+  let locks = L.create () in
+  let blocked_interval = ref (0.0, 0.0) in
+  Engine.spawn e (fun () ->
+      L.acquire locks ~txn:1 L.Database L.X;
+      Engine.delay 1000.0;
+      L.release_all locks ~txn:1);
+  Engine.spawn e (fun () ->
+      Engine.delay 1.0;
+      let t0 = Engine.time () in
+      L.acquire locks ~txn:2 L.Database L.IX;
+      blocked_interval := (t0, Engine.time ());
+      L.release_all locks ~txn:2);
+  Engine.run e;
+  let t0, t1 = !blocked_interval in
+  check_bool "IX waited for the X holder" true (t1 -. t0 > 990.0)
+
+let test_no_overtaking_x_waiter () =
+  (* An IX request arriving after a queued X must not sneak past it, or
+     the X could starve. *)
+  let e = Engine.create () in
+  let locks = L.create () in
+  let log = ref [] in
+  Engine.spawn e (fun () ->
+      L.acquire locks ~txn:1 L.Database L.IX;
+      Engine.delay 100.0;
+      L.release_all locks ~txn:1);
+  Engine.spawn e (fun () ->
+      Engine.delay 5.0;
+      L.acquire locks ~txn:2 L.Database L.X;
+      log := "x-got" :: !log;
+      Engine.delay 10.0;
+      L.release_all locks ~txn:2);
+  Engine.spawn e (fun () ->
+      Engine.delay 10.0;
+      (* Compatible with the IX holder, but queued behind the X waiter. *)
+      L.acquire locks ~txn:3 L.Database L.IX;
+      log := "ix-got" :: !log;
+      L.release_all locks ~txn:3);
+  Engine.run e;
+  Alcotest.(check (list string)) "X first, then the later IX" [ "x-got"; "ix-got" ]
+    (List.rev !log)
+
+let test_reacquire_held_is_noop () =
+  let e = Engine.create () in
+  let locks = L.create () in
+  Engine.spawn e (fun () ->
+      L.acquire locks ~txn:1 (L.Relation 0) L.X;
+      L.acquire locks ~txn:1 (L.Relation 0) L.S;
+      (* covered by X *)
+      L.acquire locks ~txn:1 (L.Relation 0) L.X;
+      check_int "held one resource" 1 (List.length (L.held locks ~txn:1));
+      L.release_all locks ~txn:1);
+  Engine.run e;
+  check_int "no self-blocking" 0 (L.total_blocked locks)
+
+let test_upgrade_rejected () =
+  let e = Engine.create () in
+  let locks = L.create () in
+  let raised = ref false in
+  Engine.spawn e (fun () ->
+      L.acquire locks ~txn:1 (L.Relation 0) L.S;
+      (match L.acquire locks ~txn:1 (L.Relation 0) L.X with
+      | () -> ()
+      | exception Invalid_argument _ -> raised := true);
+      L.release_all locks ~txn:1);
+  Engine.run e;
+  check_bool "upgrade rejected" true !raised
+
+let test_try_acquire () =
+  let e = Engine.create () in
+  let locks = L.create () in
+  Engine.spawn e (fun () ->
+      check_bool "first try succeeds" true (L.try_acquire locks ~txn:1 L.Database L.X);
+      check_bool "conflicting try fails" false (L.try_acquire locks ~txn:2 L.Database L.IS);
+      L.release_all locks ~txn:1;
+      check_bool "after release succeeds" true (L.try_acquire locks ~txn:2 L.Database L.IS));
+  Engine.run e
+
+(* ------------------------------------------------------------------ *)
+(* B+-tree layout                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_btree_1mb_shape () =
+  (* The Table 4 index: 256 pages at fanout 128 is a 3-level tree. *)
+  let t = Db_btree.create ~pages:256 () in
+  check_int "three levels" 3 (Db_btree.depth t);
+  check_bool "uses most of the budget" true (Db_btree.pages t > 250 && Db_btree.pages t <= 256);
+  check_int "path length = depth" 3 (List.length (Db_btree.lookup_path t ~key:12345))
+
+let test_btree_single_page () =
+  let t = Db_btree.create ~pages:1 () in
+  check_int "one level" 1 (Db_btree.depth t);
+  check_int "path is the root" 1 (List.length (Db_btree.lookup_path t ~key:0));
+  Alcotest.(check (list int)) "root only" [ 0 ] (Db_btree.lookup_path t ~key:7)
+
+let test_btree_path_structure () =
+  let t = Db_btree.create ~fanout:4 ~pages:30 () in
+  (* Every path starts at the root, ends at the key's leaf, and every page
+     is in range. *)
+  for key = 0 to Db_btree.keys t - 1 do
+    match Db_btree.lookup_path t ~key with
+    | [] -> Alcotest.fail "empty path"
+    | root :: _ as path ->
+        check_int "starts at root" (Db_btree.root_page t) root;
+        check_int "ends at leaf" (Db_btree.leaf_of_key t ~key)
+          (List.nth path (List.length path - 1));
+        List.iter
+          (fun p ->
+            if p < 0 || p >= Db_btree.pages t then
+              Alcotest.failf "page %d out of range for key %d" p key)
+          path
+  done
+
+let prop_btree_paths_valid =
+  QCheck.Test.make ~name:"btree: every lookup path is root-to-leaf within bounds" ~count:100
+    QCheck.(pair (int_range 2 16) (int_range 1 300))
+    (fun (fanout, pages) ->
+      let t = Db_btree.create ~fanout ~pages () in
+      let ok = ref (Db_btree.pages t <= max pages 1) in
+      for key = 0 to min (Db_btree.keys t - 1) 500 do
+        let path = Db_btree.lookup_path t ~key in
+        if List.length path <> Db_btree.depth t then ok := false;
+        if List.hd path <> Db_btree.root_page t then ok := false;
+        List.iter (fun p -> if p < 0 || p >= Db_btree.pages t then ok := false) path
+      done;
+      !ok)
+
+let prop_btree_same_leaf_same_path =
+  QCheck.Test.make ~name:"btree: keys in the same leaf share the whole path" ~count:100
+    QCheck.(int_range 0 10_000)
+    (fun key ->
+      let t = Db_btree.create ~pages:256 () in
+      let k1 = key - (key mod Db_btree.fanout t) in
+      (* first key of the leaf *)
+      Db_btree.lookup_path t ~key:k1 = Db_btree.lookup_path t ~key:(k1 + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let quick cfg = { cfg with Db_config.duration_s = 90.0; warmup_s = 10.0; seed = 7L }
+
+let test_engine_smoke_all_configs () =
+  List.iter
+    (fun cfg ->
+      let r = Db_engine.run (quick cfg) in
+      check_bool (cfg.Db_config.label ^ ": transactions ran") true (r.Db_engine.txns > 500);
+      check_bool (cfg.Db_config.label ^ ": avg positive") true (r.Db_engine.avg_ms > 0.0);
+      check_bool (cfg.Db_config.label ^ ": worst >= avg") true
+        (r.Db_engine.worst_ms >= r.Db_engine.avg_ms);
+      check_bool (cfg.Db_config.label ^ ": frames conserved") true r.Db_engine.frames_conserved)
+    Db_config.all_paper_configs
+
+let test_engine_ordering_quick () =
+  let run cfg = (Db_engine.run (quick cfg)).Db_engine.avg_ms in
+  let in_mem = run Db_config.index_in_memory in
+  let no_index = run Db_config.no_index in
+  let paging = run Db_config.index_with_paging in
+  let regen = run Db_config.index_regeneration in
+  check_bool "in-memory at least as good as regeneration" true (in_mem <= regen *. 1.15);
+  check_bool "regen beats paging by a lot" true (regen *. 3.0 < paging);
+  check_bool "no-index an order worse than in-memory" true (no_index > in_mem *. 5.0)
+
+let test_engine_paging_reloads_happen () =
+  let r = Db_engine.run (quick Db_config.index_with_paging) in
+  check_bool "page-ins observed" true (r.Db_engine.page_in_events > 0);
+  check_int "no regenerations in paging mode" 0 r.Db_engine.regenerations
+
+let test_engine_regen_mode_regenerates () =
+  let r = Db_engine.run (quick Db_config.index_regeneration) in
+  check_bool "regenerations observed" true (r.Db_engine.regenerations > 0);
+  check_int "no disk page-ins in regen mode" 0 r.Db_engine.page_in_events
+
+let test_engine_deterministic () =
+  let a = Db_engine.run (quick Db_config.index_in_memory) in
+  let b = Db_engine.run (quick Db_config.index_in_memory) in
+  check_bool "same avg" true (a.Db_engine.avg_ms = b.Db_engine.avg_ms);
+  check_int "same txns" a.Db_engine.txns b.Db_engine.txns
+
+(* ------------------------------------------------------------------ *)
+(* Write-ahead-log coordination                                       *)
+(* ------------------------------------------------------------------ *)
+
+let wal_setup () =
+  let machine, kernel, source = 
+    let machine = Hw_machine.create ~memory_bytes:(256 * 4096) () in
+    let kernel = Epcm_kernel.create machine in
+    let init = Epcm_kernel.initial_segment kernel in
+    let next = ref 0 in
+    let source ~dst ~dst_page ~count =
+      let init_seg = Epcm_kernel.segment kernel init in
+      let granted = ref 0 in
+      while !granted < count && !next < Epcm_segment.length init_seg do
+        (if (Epcm_segment.page init_seg !next).Epcm_segment.frame <> None then begin
+           Epcm_kernel.migrate_pages kernel ~src:init ~dst ~src_page:!next
+             ~dst_page:(dst_page + !granted) ~count:1 ();
+           incr granted
+         end);
+        incr next
+      done;
+      !granted
+    in
+    (machine, kernel, source)
+  in
+  let wal = Db_wal.create machine.Hw_machine.disk () in
+  let backing = Mgr_backing.memory () in
+  let base = Mgr_generic.default_hooks ~backing in
+  let hooks =
+    {
+      base with
+      Mgr_generic.on_eviction =
+        (fun ~seg ~page ~dirty ->
+          Db_wal.eviction_hook wal ~inner:base.Mgr_generic.on_eviction ~seg ~page ~dirty);
+    }
+  in
+  let g =
+    Mgr_generic.create kernel ~name:"wal-mgr" ~mode:`In_process ~backing ~source ~hooks
+      ~pool_capacity:64 ()
+  in
+  let seg =
+    Mgr_generic.create_segment g ~name:"data" ~pages:8 ~kind:(Mgr_generic.File { file_id = 1 })
+      ~high_water:8 ()
+  in
+  (machine, kernel, wal, g, seg)
+
+let test_wal_group_commit () =
+  let machine, _, wal, _, _ = wal_setup () in
+  Engine.spawn machine.Hw_machine.engine (fun () ->
+      let lsns = List.init 10 (fun _ -> Db_wal.append wal) in
+      Db_wal.commit wal ~lsn:(List.nth lsns 9);
+      check_int "one disk write for ten records" 1 (Db_wal.flushes wal);
+      check_int "flushed through" 10 (Db_wal.flushed wal);
+      (* Committing an already-flushed LSN is free. *)
+      Db_wal.commit wal ~lsn:5;
+      check_int "idempotent" 1 (Db_wal.flushes wal));
+  Engine.run machine.Hw_machine.engine
+
+let test_wal_eviction_forces_log_first () =
+  let machine, kernel, wal, g, seg = wal_setup () in
+  Engine.spawn machine.Hw_machine.engine (fun () ->
+      (* A transaction modifies page 2 under LSN 1, uncommitted. *)
+      Epcm_kernel.touch kernel ~space:seg ~page:2 ~access:Epcm_manager.Write;
+      let lsn = Db_wal.append wal in
+      Db_wal.note_page_write wal ~seg ~page:2 ~lsn;
+      check_int "log unflushed" 0 (Db_wal.flushed wal);
+      (* Memory pressure evicts the dirty page: the WAL hook must flush
+         the log before the data writeback. *)
+      let got = Mgr_generic.reclaim g ~count:8 in
+      check_bool "something evicted" true (got >= 1);
+      check_bool "log flushed by the eviction" true (Db_wal.flushed wal >= lsn);
+      check_int "no WAL violations" 0 (Db_wal.wal_violations wal));
+  Engine.run machine.Hw_machine.engine
+
+let test_wal_violation_detected_without_hook () =
+  let machine, _, _, _, _ = wal_setup () in
+  (* A manager that ignores the WAL rule is observable: writing back a
+     page whose records are unflushed counts as a violation. *)
+  let wal = Db_wal.create machine.Hw_machine.disk () in
+  let lsn = Db_wal.append wal in
+  Db_wal.note_page_write wal ~seg:42 ~page:0 ~lsn;
+  Db_wal.note_data_writeback wal ~seg:42 ~page:0;
+  check_int "violation counted" 1 (Db_wal.wal_violations wal)
+
+let test_wal_clean_pages_need_no_flush () =
+  let machine, kernel, wal, g, seg = wal_setup () in
+  Engine.spawn machine.Hw_machine.engine (fun () ->
+      (* Read-only pages evict without touching the log. *)
+      Epcm_kernel.touch kernel ~space:seg ~page:0 ~access:Epcm_manager.Read;
+      ignore (Mgr_generic.reclaim g ~count:4);
+      check_int "no log flushes" 0 (Db_wal.flushes wal));
+  Engine.run machine.Hw_machine.engine
+
+let prop_ordered_acquisition_no_deadlock =
+  (* Random transactions acquiring random resource sets in the canonical
+     order (database, relations ascending, pages ascending) always drain:
+     no deadlock, no lost wakeups. *)
+  QCheck.Test.make ~name:"ordered acquisition always drains" ~count:40
+    QCheck.(pair (int_range 2 12) (int_bound 1000))
+    (fun (n_txns, seed) ->
+      let e = Engine.create () in
+      let locks = L.create () in
+      let rng = Sim_rng.create (Int64.of_int seed) in
+      let completed = ref 0 in
+      for txn = 1 to n_txns do
+        let wants_db_x = Sim_rng.bernoulli rng 0.1 in
+        let rels =
+          List.init 3 (fun r -> (r, Sim_rng.int rng 4))
+          |> List.filter_map (fun (r, m) ->
+                 match m with
+                 | 0 -> None
+                 | 1 -> Some (L.Relation r, L.IS)
+                 | 2 -> Some (L.Relation r, L.IX)
+                 | _ -> Some (L.Relation r, L.S))
+        in
+        let pages =
+          List.filter_map
+            (fun (res, m) ->
+              match (res, m) with
+              | L.Relation r, L.IX when Sim_rng.bernoulli rng 0.7 ->
+                  Some (L.Page (r, Sim_rng.int rng 4), L.X)
+              | _ -> None)
+            rels
+        in
+        Engine.spawn e (fun () ->
+            Engine.delay (Sim_rng.uniform rng ~lo:0.0 ~hi:50.0);
+            if wants_db_x then L.acquire locks ~txn L.Database L.X
+            else begin
+              L.acquire locks ~txn L.Database L.IX;
+              List.iter (fun (res, m) -> L.acquire locks ~txn res m) rels;
+              List.iter (fun (res, m) -> L.acquire locks ~txn res m) pages
+            end;
+            Engine.delay (Sim_rng.uniform rng ~lo:0.0 ~hi:20.0);
+            L.release_all locks ~txn;
+            incr completed)
+      done;
+      Engine.run e;
+      !completed = n_txns && Engine.live_processes e = 0 && L.waiting locks = 0)
+
+let () =
+  Alcotest.run "dbms"
+    [
+      ( "locks",
+        [
+          Alcotest.test_case "compat matrix" `Quick test_compat_matrix;
+          Alcotest.test_case "covers" `Quick test_covers;
+          Alcotest.test_case "X blocks, FIFO" `Quick test_exclusive_blocks_and_fifo;
+          Alcotest.test_case "shared coexist" `Quick test_shared_coexist;
+          Alcotest.test_case "intention hierarchy conflict" `Quick
+            test_intention_hierarchy_conflict;
+          Alcotest.test_case "no overtaking" `Quick test_no_overtaking_x_waiter;
+          Alcotest.test_case "reacquire noop" `Quick test_reacquire_held_is_noop;
+          Alcotest.test_case "upgrade rejected" `Quick test_upgrade_rejected;
+          Alcotest.test_case "try acquire" `Quick test_try_acquire;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "group commit" `Quick test_wal_group_commit;
+          Alcotest.test_case "eviction forces log first" `Quick
+            test_wal_eviction_forces_log_first;
+          Alcotest.test_case "violation detectable" `Quick
+            test_wal_violation_detected_without_hook;
+          Alcotest.test_case "clean pages free" `Quick test_wal_clean_pages_need_no_flush;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "1MB index shape" `Quick test_btree_1mb_shape;
+          Alcotest.test_case "single page" `Quick test_btree_single_page;
+          Alcotest.test_case "path structure" `Quick test_btree_path_structure;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "smoke all configs" `Slow test_engine_smoke_all_configs;
+          Alcotest.test_case "ordering (quick)" `Slow test_engine_ordering_quick;
+          Alcotest.test_case "paging reloads" `Slow test_engine_paging_reloads_happen;
+          Alcotest.test_case "regen regenerates" `Slow test_engine_regen_mode_regenerates;
+          Alcotest.test_case "deterministic" `Slow test_engine_deterministic;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_compat_symmetric;
+            prop_btree_paths_valid;
+            prop_btree_same_leaf_same_path;
+            prop_ordered_acquisition_no_deadlock;
+          ] );
+    ]

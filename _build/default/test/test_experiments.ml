@@ -1,0 +1,77 @@
+(* End-to-end tests: every table and figure regenerates with its shape
+   checks passing — the headline claim of the reproduction. *)
+
+let check_bool = Alcotest.(check bool)
+
+let render_failures checks =
+  checks
+  |> List.filter (fun c -> not c.Exp_report.pass)
+  |> List.map (fun c -> c.Exp_report.what ^ " — " ^ c.Exp_report.detail)
+  |> String.concat "; "
+
+let assert_all_pass checks =
+  if not (Exp_report.all_pass checks) then Alcotest.fail (render_failures checks)
+
+let test_table1 () =
+  let r = Exp_table1.run () in
+  assert_all_pass r.Exp_table1.checks;
+  (* The headline numbers are exact. *)
+  List.iter
+    (fun (row : Exp_table1.row) ->
+      match (row.Exp_table1.vpp_us, row.Exp_table1.paper_vpp) with
+      | Some measured, Some paper ->
+          check_bool (row.Exp_table1.label ^ " matches paper") true
+            (Float.abs (measured -. paper) < 0.5)
+      | _ -> ())
+    r.Exp_table1.rows
+
+let test_table2 () = assert_all_pass (Exp_table2.run ()).Exp_table2.checks
+let test_table3 () = assert_all_pass (Exp_table3.run ()).Exp_table3.checks
+
+let test_table4_quick () =
+  let r = Exp_table4.run ~quick:true () in
+  assert_all_pass r.Exp_table4.checks
+
+let test_figures () =
+  let r = Exp_figures.run () in
+  assert_all_pass r.Exp_figures.checks
+
+let test_substrate_stats () =
+  let r = Exp_substrate.run () in
+  assert_all_pass r.Exp_substrate.checks;
+  (* The rescans exercise the translation path: the mapping hash must have
+     served warm touches. *)
+  List.iter
+    (fun (row : Exp_substrate.row) ->
+      check_bool (row.Exp_substrate.program ^ ": hash exercised") true
+        (row.Exp_substrate.pt_hits > 0))
+    r.Exp_substrate.rows
+
+let test_ablations_hold () =
+  List.iter
+    (fun a ->
+      check_bool (a.Exp_ablations.a_name ^ " finding holds") true a.Exp_ablations.holds;
+      check_bool (a.Exp_ablations.a_name ^ " has rows") true
+        (List.length a.Exp_ablations.rows >= 2))
+    (Exp_ablations.run_all ())
+
+let test_renders_nonempty () =
+  check_bool "table1 renders" true (String.length (Exp_table1.render (Exp_table1.run ())) > 100);
+  check_bool "figures render" true
+    (String.length (Exp_figures.render (Exp_figures.run ())) > 100)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "table 1 exact" `Quick test_table1;
+          Alcotest.test_case "table 2 shape" `Slow test_table2;
+          Alcotest.test_case "table 3 exact" `Slow test_table3;
+          Alcotest.test_case "table 4 shape (quick)" `Slow test_table4_quick;
+          Alcotest.test_case "figures" `Quick test_figures;
+          Alcotest.test_case "substrate stats" `Slow test_substrate_stats;
+          Alcotest.test_case "ablations hold" `Slow test_ablations_hold;
+          Alcotest.test_case "renders" `Quick test_renders_nonempty;
+        ] );
+    ]

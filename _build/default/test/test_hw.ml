@@ -1,0 +1,300 @@
+(* Tests for the hardware substrate: page data, physical memory, the V++
+   mapping hash, the TLB, the disk model and the cache model. *)
+
+module Data = Hw_page_data
+module Phys = Hw_phys_mem
+module Pt = Hw_page_table
+module Tlb = Hw_tlb
+module Disk = Hw_disk
+module Cache = Hw_cache
+module Engine = Sim_engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Page data                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_data_equal () =
+  check_bool "zero = zero" true (Data.equal Data.Zero Data.Zero);
+  check_bool "bytes equal" true (Data.equal (Data.of_string "abc") (Data.of_string "abc"));
+  check_bool "bytes differ" false (Data.equal (Data.of_string "abc") (Data.of_string "abd"));
+  check_bool "block identity" true
+    (Data.equal (Data.block ~file:1 ~block:2 ~version:3) (Data.block ~file:1 ~block:2 ~version:3));
+  check_bool "block version matters" false
+    (Data.equal (Data.block ~file:1 ~block:2 ~version:3) (Data.block ~file:1 ~block:2 ~version:4));
+  check_bool "kinds differ" false (Data.equal Data.Zero (Data.of_string ""))
+
+let test_data_byte_observation () =
+  check_bool "zero reads as 0" true (Data.byte Data.Zero 123 = '\000');
+  check_bool "bytes read back" true (Data.byte (Data.of_string "xy") 1 = 'y');
+  check_bool "bytes past end are 0" true (Data.byte (Data.of_string "xy") 5 = '\000');
+  let b1 = Data.byte (Data.block ~file:1 ~block:2 ~version:1) 10 in
+  let b1' = Data.byte (Data.block ~file:1 ~block:2 ~version:1) 10 in
+  let b2 = Data.byte (Data.block ~file:1 ~block:2 ~version:2) 10 in
+  check_bool "block bytes deterministic" true (b1 = b1');
+  check_bool "version changes content" true (b1 <> b2 || Data.byte (Data.block ~file:1 ~block:2 ~version:2) 11 <> Data.byte (Data.block ~file:1 ~block:2 ~version:1) 11)
+
+(* ------------------------------------------------------------------ *)
+(* Physical memory                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_phys_layout () =
+  let m = Phys.create ~n_colors:4 ~page_size:4096 ~total_bytes:(16 * 4096) () in
+  check_int "frames" 16 (Phys.n_frames m);
+  check_int "addr of frame 3" (3 * 4096) (Phys.frame m 3).Phys.addr;
+  check_int "color cycles" 3 (Phys.frame m 3).Phys.color;
+  check_int "color wraps" 0 (Phys.frame m 4).Phys.color
+
+let test_phys_queries () =
+  let m = Phys.create ~n_colors:4 ~page_size:4096 ~total_bytes:(16 * 4096) () in
+  Alcotest.(check (list int)) "frames of color 1" [ 1; 5; 9; 13 ] (Phys.frames_of_color m 1);
+  Alcotest.(check (list int)) "address range" [ 2; 3 ]
+    (Phys.frames_in_range m ~lo_addr:8192 ~hi_addr:16384)
+
+let test_phys_copy_zero () =
+  let m = Phys.create ~page_size:4096 ~total_bytes:(4 * 4096) () in
+  (Phys.frame m 0).Phys.data <- Data.of_string "payload";
+  Phys.copy_frame m ~src:0 ~dst:1;
+  check_bool "copied" true (Data.equal (Phys.frame m 1).Phys.data (Data.of_string "payload"));
+  Phys.zero_frame m 1;
+  check_bool "zeroed" true (Data.equal (Phys.frame m 1).Phys.data Data.Zero)
+
+let test_phys_bad_create () =
+  Alcotest.check_raises "no pages"
+    (Invalid_argument "Hw_phys_mem.create: need at least one page") (fun () ->
+      ignore (Phys.create ~page_size:4096 ~total_bytes:100 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Mapping hash                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let prot_rw = { Pt.readable = true; writable = true }
+
+let test_pt_insert_lookup () =
+  let pt = Pt.create () in
+  Pt.insert pt ~space:1 ~vpn:10 ~frame:5 ~prot:prot_rw;
+  (match Pt.lookup pt ~space:1 ~vpn:10 with
+  | Some (5, p) -> check_bool "prot" true p.Pt.writable
+  | Some _ | None -> Alcotest.fail "expected hit");
+  check_int "one hit" 1 (Pt.hits pt);
+  check_bool "miss on other key" true (Pt.lookup pt ~space:1 ~vpn:11 = None);
+  check_int "one miss" 1 (Pt.misses pt)
+
+let test_pt_remove () =
+  let pt = Pt.create () in
+  Pt.insert pt ~space:1 ~vpn:10 ~frame:5 ~prot:prot_rw;
+  Pt.remove pt ~space:1 ~vpn:10;
+  check_bool "gone" true (Pt.lookup pt ~space:1 ~vpn:10 = None)
+
+let test_pt_remove_space () =
+  let pt = Pt.create () in
+  Pt.insert pt ~space:1 ~vpn:10 ~frame:5 ~prot:prot_rw;
+  Pt.insert pt ~space:1 ~vpn:11 ~frame:6 ~prot:prot_rw;
+  Pt.insert pt ~space:2 ~vpn:10 ~frame:7 ~prot:prot_rw;
+  Pt.remove_space pt ~space:1;
+  check_bool "space 1 vpn 10 gone" true (Pt.lookup pt ~space:1 ~vpn:10 = None);
+  check_bool "space 2 survives" true (Pt.lookup pt ~space:2 ~vpn:10 <> None)
+
+let test_pt_collision_overflow () =
+  (* A tiny direct-mapped table forces collisions; the displaced entry
+     must survive in the overflow area. *)
+  let pt = Pt.create ~slots:1 ~overflow:4 () in
+  Pt.insert pt ~space:1 ~vpn:1 ~frame:10 ~prot:prot_rw;
+  Pt.insert pt ~space:1 ~vpn:2 ~frame:20 ~prot:prot_rw;
+  check_bool "collision recorded" true (Pt.collisions pt >= 1);
+  check_bool "displaced entry still found" true
+    (match Pt.lookup pt ~space:1 ~vpn:1 with Some (10, _) -> true | _ -> false);
+  check_bool "new entry found" true
+    (match Pt.lookup pt ~space:1 ~vpn:2 with Some (20, _) -> true | _ -> false)
+
+let test_pt_overflow_eviction () =
+  (* With the overflow full, the oldest overflow entry is discarded — a
+     cache, not a store. *)
+  let pt = Pt.create ~slots:1 ~overflow:2 () in
+  for vpn = 1 to 5 do
+    Pt.insert pt ~space:1 ~vpn ~frame:vpn ~prot:prot_rw
+  done;
+  check_int "resident bounded" 3 (Pt.resident pt)
+
+let test_pt_update_in_place () =
+  let pt = Pt.create () in
+  Pt.insert pt ~space:1 ~vpn:1 ~frame:10 ~prot:prot_rw;
+  Pt.insert pt ~space:1 ~vpn:1 ~frame:11 ~prot:{ Pt.readable = true; writable = false };
+  match Pt.lookup pt ~space:1 ~vpn:1 with
+  | Some (11, p) -> check_bool "updated prot" false p.Pt.writable
+  | Some _ | None -> Alcotest.fail "expected updated entry"
+
+(* ------------------------------------------------------------------ *)
+(* TLB                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_tlb_basics () =
+  let tlb = Tlb.create ~entries:8 () in
+  check_bool "cold miss" true (Tlb.lookup tlb ~space:1 ~vpn:3 = None);
+  Tlb.fill tlb ~space:1 ~vpn:3 ~frame:7;
+  check_bool "hit" true (Tlb.lookup tlb ~space:1 ~vpn:3 = Some 7);
+  Tlb.invalidate tlb ~space:1 ~vpn:3;
+  check_bool "invalidated" true (Tlb.lookup tlb ~space:1 ~vpn:3 = None);
+  check_int "misses" 2 (Tlb.misses tlb);
+  check_int "hits" 1 (Tlb.hits tlb)
+
+let test_tlb_space_invalidation () =
+  let tlb = Tlb.create () in
+  Tlb.fill tlb ~space:1 ~vpn:1 ~frame:1;
+  Tlb.fill tlb ~space:2 ~vpn:2 ~frame:2;
+  Tlb.invalidate_space tlb ~space:1;
+  check_bool "space 1 gone" true (Tlb.lookup tlb ~space:1 ~vpn:1 = None);
+  check_bool "space 2 stays" true (Tlb.lookup tlb ~space:2 ~vpn:2 = Some 2)
+
+let test_tlb_hit_rate () =
+  let tlb = Tlb.create () in
+  Tlb.fill tlb ~space:1 ~vpn:1 ~frame:1;
+  ignore (Tlb.lookup tlb ~space:1 ~vpn:1);
+  ignore (Tlb.lookup tlb ~space:1 ~vpn:9999);
+  check_float "50%" 0.5 (Tlb.hit_rate tlb)
+
+(* ------------------------------------------------------------------ *)
+(* Disk                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_disk_service_time () =
+  let e = Engine.create () in
+  let d = Disk.create e () in
+  let expected = Disk.access_time_us d ~bytes:4096 in
+  let elapsed = ref 0.0 in
+  Engine.spawn e (fun () ->
+      let t0 = Engine.time () in
+      Disk.read d ~bytes:4096;
+      elapsed := Engine.time () -. t0);
+  Engine.run e;
+  check_float "one access" expected !elapsed;
+  check_int "read counted" 1 (Disk.reads d);
+  check_int "bytes counted" 4096 (Disk.bytes_read d)
+
+let test_disk_serialises () =
+  let e = Engine.create () in
+  let d = Disk.create e () in
+  let t_one = Disk.access_time_us d ~bytes:4096 in
+  let finish = ref 0.0 in
+  for _ = 1 to 3 do
+    Engine.spawn e (fun () ->
+        Disk.read d ~bytes:4096;
+        finish := Engine.time ())
+  done;
+  Engine.run e;
+  check_float "three serialised accesses" (3.0 *. t_one) !finish
+
+let test_disk_1992_latency () =
+  (* Paper §1: a page fault to disk costs close to a million instruction
+     times — tens of milliseconds. *)
+  let e = Engine.create () in
+  let d = Disk.create e () in
+  let t = Disk.access_time_us d ~bytes:4096 in
+  check_bool "in the 10-30ms range" true (t > 10_000.0 && t < 30_000.0)
+
+(* ------------------------------------------------------------------ *)
+(* Cache model                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_conflicts () =
+  let c = Cache.create ~size_bytes:(64 * 1024) () in
+  (* Two addresses one cache-size apart collide in a direct-mapped
+     cache. *)
+  Cache.access c ~phys_addr:0;
+  Cache.access c ~phys_addr:(64 * 1024);
+  Cache.access c ~phys_addr:0;
+  check_int "all misses" 3 (Cache.misses c);
+  (* Two addresses in distinct sets do not (fresh cache: reset_stats keeps
+     contents, so reuse would hit on the still-cached line). *)
+  let c = Cache.create ~size_bytes:(64 * 1024) () in
+  Cache.access c ~phys_addr:0;
+  Cache.access c ~phys_addr:64;
+  Cache.access c ~phys_addr:0;
+  Cache.access c ~phys_addr:64;
+  check_int "two cold misses" 2 (Cache.misses c);
+  check_int "two hits" 2 (Cache.hits c)
+
+let test_cache_colors () =
+  let c = Cache.create ~size_bytes:(64 * 1024) () in
+  check_int "16 colors for 4KB pages" 16 (Cache.n_colors c ~page_bytes:4096);
+  check_int "page color cycles" 1 (Cache.color_of c ~phys_addr:4096 ~page_bytes:4096);
+  check_int "wraps at cache size" 0 (Cache.color_of c ~phys_addr:(64 * 1024) ~page_bytes:4096)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_pt_lookup_after_insert =
+  QCheck.Test.make ~name:"mapping hash: insert then lookup finds the frame" ~count:200
+    QCheck.(pair (int_bound 100) (int_bound 100_000))
+    (fun (space, vpn) ->
+      let pt = Pt.create () in
+      Pt.insert pt ~space ~vpn ~frame:7 ~prot:prot_rw;
+      match Pt.lookup pt ~space ~vpn with Some (7, _) -> true | _ -> false)
+
+let prop_cache_sequential_second_pass_hits =
+  QCheck.Test.make ~name:"cache: a working set within capacity hits on the second sweep"
+    ~count:50
+    QCheck.(int_range 1 8)
+    (fun pages ->
+      let c = Cache.create ~size_bytes:(64 * 1024) () in
+      (* Distinct colors: no conflicts. *)
+      for p = 0 to pages - 1 do
+        Cache.touch_page c ~phys_addr:(p * 4096) ~page_bytes:4096
+      done;
+      Cache.reset_stats c;
+      for p = 0 to pages - 1 do
+        Cache.touch_page c ~phys_addr:(p * 4096) ~page_bytes:4096
+      done;
+      Cache.misses c = 0)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_pt_lookup_after_insert; prop_cache_sequential_second_pass_hits ]
+
+let () =
+  Alcotest.run "hw"
+    [
+      ( "page-data",
+        [
+          Alcotest.test_case "equality" `Quick test_data_equal;
+          Alcotest.test_case "byte observation" `Quick test_data_byte_observation;
+        ] );
+      ( "phys-mem",
+        [
+          Alcotest.test_case "layout" `Quick test_phys_layout;
+          Alcotest.test_case "color/range queries" `Quick test_phys_queries;
+          Alcotest.test_case "copy and zero" `Quick test_phys_copy_zero;
+          Alcotest.test_case "bad create" `Quick test_phys_bad_create;
+        ] );
+      ( "page-table",
+        [
+          Alcotest.test_case "insert/lookup" `Quick test_pt_insert_lookup;
+          Alcotest.test_case "remove" `Quick test_pt_remove;
+          Alcotest.test_case "remove space" `Quick test_pt_remove_space;
+          Alcotest.test_case "collision to overflow" `Quick test_pt_collision_overflow;
+          Alcotest.test_case "overflow eviction" `Quick test_pt_overflow_eviction;
+          Alcotest.test_case "update in place" `Quick test_pt_update_in_place;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "basics" `Quick test_tlb_basics;
+          Alcotest.test_case "space invalidation" `Quick test_tlb_space_invalidation;
+          Alcotest.test_case "hit rate" `Quick test_tlb_hit_rate;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "service time" `Quick test_disk_service_time;
+          Alcotest.test_case "serialises" `Quick test_disk_serialises;
+          Alcotest.test_case "1992 latency" `Quick test_disk_1992_latency;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "conflicts" `Quick test_cache_conflicts;
+          Alcotest.test_case "colors" `Quick test_cache_colors;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,547 @@
+(* Unit and property tests for the discrete-event simulation substrate. *)
+
+module Rng = Sim_rng
+module Stats = Sim_stats
+module Heap = Sim_heap
+module Engine = Sim_engine
+module Sync = Sim_sync
+module Trace = Sim_trace
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* RNG                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  check_bool "streams diverge" true (!same < 4)
+
+let test_rng_float_range () =
+  let r = Rng.create 7L in
+  for _ = 1 to 10_000 do
+    let f = Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_rng_int_range () =
+  let r = Rng.create 9L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "int out of range: %d" v
+  done
+
+let test_rng_int_invalid () =
+  let r = Rng.create 1L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Sim_rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 11L in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 50_000 do
+    Stats.Summary.add s (Rng.exponential r ~mean:25.0)
+  done;
+  let m = Stats.Summary.mean s in
+  check_bool "mean near 25" true (m > 24.0 && m < 26.0)
+
+let test_rng_bernoulli () =
+  let r = Rng.create 13L in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli r 0.05 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  check_bool "p near 0.05" true (p > 0.04 && p < 0.06)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5L in
+  let child = Rng.split parent in
+  let c1 = Rng.int64 child in
+  let p1 = Rng.int64 parent in
+  check_bool "child differs from parent draw" true (c1 <> p1)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 21L in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 50 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_basic () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_int "count" 4 (Stats.Summary.count s);
+  check_float "mean" 2.5 (Stats.Summary.mean s);
+  check_float "min" 1.0 (Stats.Summary.min s);
+  check_float "max" 4.0 (Stats.Summary.max s);
+  check_float "total" 10.0 (Stats.Summary.total s);
+  Alcotest.(check (float 1e-6)) "variance" (5.0 /. 3.0) (Stats.Summary.variance s)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  check_float "mean of empty" 0.0 (Stats.Summary.mean s);
+  check_float "variance of empty" 0.0 (Stats.Summary.variance s)
+
+let test_summary_merge () =
+  let a = Stats.Summary.create () and b = Stats.Summary.create () in
+  let all = Stats.Summary.create () in
+  List.iter
+    (fun x ->
+      Stats.Summary.add (if x < 5.0 then a else b) x;
+      Stats.Summary.add all x)
+    [ 1.0; 2.0; 7.0; 9.0; 3.0; 11.0 ];
+  let merged = Stats.Summary.merge a b in
+  check_int "count" (Stats.Summary.count all) (Stats.Summary.count merged);
+  Alcotest.(check (float 1e-6)) "mean" (Stats.Summary.mean all) (Stats.Summary.mean merged);
+  Alcotest.(check (float 1e-6)) "variance" (Stats.Summary.variance all)
+    (Stats.Summary.variance merged)
+
+let test_series_percentile () =
+  let s = Stats.Series.create () in
+  for i = 1 to 100 do
+    Stats.Series.add s (float_of_int i)
+  done;
+  check_float "p50" 50.0 (Stats.Series.percentile s 50.0);
+  check_float "p100 = max" 100.0 (Stats.Series.percentile s 100.0);
+  check_float "p1" 1.0 (Stats.Series.percentile s 1.0);
+  check_float "max" 100.0 (Stats.Series.max s)
+
+let test_series_empty_percentile () =
+  let s = Stats.Series.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Sim_stats.Series.percentile: empty series")
+    (fun () -> ignore (Stats.Series.percentile s 50.0))
+
+let test_series_growth () =
+  let s = Stats.Series.create () in
+  for i = 1 to 1000 do
+    Stats.Series.add s (float_of_int i)
+  done;
+  check_int "count survives growth" 1000 (Stats.Series.count s);
+  check_float "mean" 500.5 (Stats.Series.mean s)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.7; 9.9; -1.0; 10.0; 25.0 ];
+  check_int "underflow" 1 (Stats.Histogram.underflow h);
+  check_int "overflow" 2 (Stats.Histogram.overflow h);
+  check_int "total" 7 (Stats.Histogram.total h);
+  let c = Stats.Histogram.counts h in
+  check_int "bin0" 1 c.(0);
+  check_int "bin1" 2 c.(1);
+  check_int "bin9" 1 c.(9)
+
+let test_time_weighted () =
+  let tw = Stats.Time_weighted.create ~now:0.0 ~init:0.0 in
+  Stats.Time_weighted.set tw ~now:10.0 4.0;
+  Stats.Time_weighted.set tw ~now:20.0 0.0;
+  check_float "average" 2.0 (Stats.Time_weighted.average tw ~now:20.0);
+  check_float "average later" 1.0 (Stats.Time_weighted.average tw ~now:40.0)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  Heap.push h ~time:3.0 ~seq:1 "c";
+  Heap.push h ~time:1.0 ~seq:2 "a";
+  Heap.push h ~time:2.0 ~seq:3 "b";
+  let pop () =
+    match Heap.pop h with Some (_, _, v) -> v | None -> Alcotest.fail "empty"
+  in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ]
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 1 to 10 do
+    Heap.push h ~time:5.0 ~seq:i i
+  done;
+  let order =
+    List.init 10 (fun _ ->
+        match Heap.pop h with Some (_, _, v) -> v | None -> Alcotest.fail "empty")
+  in
+  Alcotest.(check (list int)) "FIFO at equal times" (List.init 10 (fun i -> i + 1)) order
+
+let test_heap_empty () =
+  let h : int Heap.t = Heap.create () in
+  check_bool "is_empty" true (Heap.is_empty h);
+  check_bool "pop none" true (Heap.pop h = None);
+  check_bool "peek none" true (Heap.peek_time h = None)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 1000.0) small_int))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iteri (fun i (t, v) -> Heap.push h ~time:t ~seq:i v) entries;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (t, _, _) -> drain (t :: acc)
+      in
+      let times = drain [] in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+        | _ -> true
+      in
+      List.length times = List.length entries && nondecreasing times)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_delay_advances_clock () =
+  let e = Engine.create () in
+  let finished = ref 0.0 in
+  Engine.spawn e (fun () ->
+      Engine.delay 100.0;
+      Engine.delay 50.0;
+      finished := Engine.time ());
+  Engine.run e;
+  check_float "clock" 150.0 !finished;
+  check_float "engine now" 150.0 (Engine.now e);
+  check_int "no live processes" 0 (Engine.live_processes e)
+
+let test_engine_interleaving () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag = log := tag :: !log in
+  Engine.spawn e (fun () ->
+      note "a0";
+      Engine.delay 10.0;
+      note "a10";
+      Engine.delay 20.0;
+      note "a30");
+  Engine.spawn e (fun () ->
+      note "b0";
+      Engine.delay 15.0;
+      note "b15");
+  Engine.run e;
+  Alcotest.(check (list string))
+    "interleaved by time" [ "a0"; "b0"; "a10"; "b15"; "a30" ] (List.rev !log)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let reached = ref 0.0 in
+  Engine.spawn e (fun () ->
+      Engine.delay 100.0;
+      reached := 100.0;
+      Engine.delay 100.0;
+      reached := 200.0);
+  Engine.run ~until:150.0 e;
+  check_float "stopped at horizon" 100.0 !reached;
+  check_float "clock at horizon" 150.0 (Engine.now e);
+  Engine.run e;
+  check_float "resumes past horizon" 200.0 !reached
+
+let test_engine_fork () =
+  let e = Engine.create () in
+  let sum = ref 0.0 in
+  Engine.spawn e (fun () ->
+      Engine.fork (fun () ->
+          Engine.delay 5.0;
+          sum := !sum +. Engine.time ());
+      Engine.delay 1.0;
+      sum := !sum +. Engine.time ());
+  Engine.run e;
+  check_float "fork ran" 6.0 !sum
+
+let test_engine_suspend_resume () =
+  let e = Engine.create () in
+  let slot = ref None in
+  let got = ref (-1) in
+  Engine.spawn e (fun () -> got := Engine.suspend (fun resume -> slot := Some resume));
+  Engine.spawn e (fun () ->
+      Engine.delay 42.0;
+      match !slot with Some resume -> resume 99 | None -> Alcotest.fail "no waiter");
+  Engine.run e;
+  check_int "value passed" 99 !got;
+  check_int "no live" 0 (Engine.live_processes e)
+
+let test_engine_deadlock_detectable () =
+  let e = Engine.create () in
+  Engine.spawn e (fun () -> ignore (Engine.suspend (fun _resume -> ())));
+  Engine.run e;
+  check_int "blocked process visible" 1 (Engine.live_processes e)
+
+let test_engine_outside_process () =
+  Alcotest.check_raises "delay outside" Engine.Not_in_process (fun () -> Engine.delay 1.0)
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.spawn e (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "spawn order preserved" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_negative_delay_clamped () =
+  let e = Engine.create () in
+  let t = ref nan in
+  Engine.spawn e (fun () ->
+      Engine.delay 10.0;
+      Engine.delay (-5.0);
+      t := Engine.time ());
+  Engine.run e;
+  check_float "no time travel" 10.0 !t
+
+(* ------------------------------------------------------------------ *)
+(* Sync                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_semaphore_mutual_exclusion () =
+  let e = Engine.create () in
+  let sem = Sync.Semaphore.create 1 in
+  let inside = ref 0 and max_inside = ref 0 and done_count = ref 0 in
+  for _ = 1 to 5 do
+    Engine.spawn e (fun () ->
+        Sync.Semaphore.acquire sem;
+        incr inside;
+        if !inside > !max_inside then max_inside := !inside;
+        Engine.delay 10.0;
+        decr inside;
+        Sync.Semaphore.release sem;
+        incr done_count)
+  done;
+  Engine.run e;
+  check_int "all finished" 5 !done_count;
+  check_int "never concurrent" 1 !max_inside;
+  check_float "serialised time" 50.0 (Engine.now e)
+
+let test_semaphore_try_acquire () =
+  let e = Engine.create () in
+  let sem = Sync.Semaphore.create 1 in
+  let results = ref [] in
+  Engine.spawn e (fun () ->
+      results := Sync.Semaphore.try_acquire sem :: !results;
+      results := Sync.Semaphore.try_acquire sem :: !results;
+      Sync.Semaphore.release sem;
+      results := Sync.Semaphore.try_acquire sem :: !results);
+  Engine.run e;
+  Alcotest.(check (list bool)) "try pattern" [ true; false; true ] (List.rev !results)
+
+let test_resource_capacity_and_utilisation () =
+  let e = Engine.create () in
+  let r = Sync.Resource.create e ~capacity:2 in
+  let finish = ref 0.0 in
+  for _ = 1 to 4 do
+    Engine.spawn e (fun () ->
+        Sync.Resource.use r (fun () -> Engine.delay 10.0);
+        finish := Engine.time ())
+  done;
+  Engine.run e;
+  check_float "makespan" 20.0 !finish;
+  check_float "utilisation" 1.0 (Sync.Resource.utilisation r)
+
+let test_mailbox_fifo () =
+  let e = Engine.create () in
+  let mb = Sync.Mailbox.create () in
+  let got = ref [] in
+  Engine.spawn e (fun () ->
+      for _ = 1 to 3 do
+        got := Sync.Mailbox.recv mb :: !got
+      done);
+  Engine.spawn e (fun () ->
+      Engine.delay 1.0;
+      Sync.Mailbox.send mb "x";
+      Sync.Mailbox.send mb "y";
+      Engine.delay 1.0;
+      Sync.Mailbox.send mb "z");
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "x"; "y"; "z" ] (List.rev !got)
+
+let test_mailbox_buffered_before_recv () =
+  let e = Engine.create () in
+  let mb = Sync.Mailbox.create () in
+  let got = ref 0 in
+  Engine.spawn e (fun () ->
+      Sync.Mailbox.send mb 7;
+      check_int "buffered" 1 (Sync.Mailbox.length mb));
+  Engine.spawn e (fun () ->
+      Engine.delay 5.0;
+      got := Sync.Mailbox.recv mb);
+  Engine.run e;
+  check_int "received buffered value" 7 !got
+
+let test_gate_broadcast () =
+  let e = Engine.create () in
+  let g = Sync.Gate.create () in
+  let released = ref 0 in
+  for _ = 1 to 3 do
+    Engine.spawn e (fun () ->
+        Sync.Gate.wait g;
+        incr released)
+  done;
+  Engine.spawn e (fun () ->
+      Engine.delay 10.0;
+      Sync.Gate.open_ g);
+  Engine.run e;
+  check_int "all released" 3 !released;
+  check_bool "stays open" true (Sync.Gate.is_open g)
+
+let test_condition_repeated_signal () =
+  let e = Engine.create () in
+  let c = Sync.Condition.create () in
+  let rounds = ref 0 in
+  Engine.spawn e (fun () ->
+      Sync.Condition.await c;
+      incr rounds;
+      Sync.Condition.await c;
+      incr rounds);
+  Engine.spawn e (fun () ->
+      Engine.delay 1.0;
+      Sync.Condition.signal_all c;
+      Engine.delay 1.0;
+      Sync.Condition.signal_all c);
+  Engine.run e;
+  check_int "two rounds" 2 !rounds
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_order_and_tags () =
+  let tr = Trace.create () in
+  Trace.emit tr ~time:1.0 ~tag:"a" "first";
+  Trace.emit tr ~time:2.0 ~tag:"b" "second";
+  Alcotest.(check (list string)) "tags" [ "a"; "b" ] (Trace.tags tr)
+
+let test_trace_disabled () =
+  let tr = Trace.create ~enabled:false () in
+  Trace.emit tr ~time:1.0 ~tag:"a" "ignored";
+  check_int "nothing recorded" 0 (List.length (Trace.events tr))
+
+let test_trace_capacity () =
+  let tr = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.emit tr ~time:(float_of_int i) ~tag:(string_of_int i) ""
+  done;
+  Alcotest.(check (list string)) "keeps newest" [ "3"; "4"; "5" ] (Trace.tags tr);
+  check_int "dropped" 2 (Trace.dropped tr)
+
+(* ------------------------------------------------------------------ *)
+(* Properties over the engine                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_engine_deterministic =
+  QCheck.Test.make ~name:"identical seeds give identical simulations" ~count:30
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let run_once () =
+        let e = Engine.create () in
+        let rng = Rng.create (Int64.of_int seed) in
+        let log = Buffer.create 64 in
+        for i = 1 to 5 do
+          Engine.spawn e (fun () ->
+              let d = Rng.uniform rng ~lo:0.0 ~hi:50.0 in
+              Engine.delay d;
+              Buffer.add_string log (Printf.sprintf "%d@%.3f;" i (Engine.time ())))
+        done;
+        Engine.run e;
+        Buffer.contents log
+      in
+      String.equal (run_once ()) (run_once ()))
+
+let prop_resource_never_exceeds_capacity =
+  QCheck.Test.make ~name:"resource occupancy bounded by capacity" ~count:50
+    QCheck.(pair (int_range 1 4) (int_range 1 20))
+    (fun (cap, jobs) ->
+      let e = Engine.create () in
+      let r = Sync.Resource.create e ~capacity:cap in
+      let ok = ref true in
+      for _ = 1 to jobs do
+        Engine.spawn e (fun () ->
+            Sync.Resource.use r (fun () ->
+                if Sync.Resource.in_use r > cap then ok := false;
+                Engine.delay 3.0))
+      done;
+      Engine.run e;
+      !ok && Sync.Resource.in_use r = 0)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_heap_sorts; prop_engine_deterministic; prop_resource_never_exceeds_capacity ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int invalid bound" `Quick test_rng_int_invalid;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary basic" `Quick test_summary_basic;
+          Alcotest.test_case "summary empty" `Quick test_summary_empty;
+          Alcotest.test_case "summary merge" `Quick test_summary_merge;
+          Alcotest.test_case "series percentile" `Quick test_series_percentile;
+          Alcotest.test_case "series empty percentile" `Quick test_series_empty_percentile;
+          Alcotest.test_case "series growth" `Quick test_series_growth;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "time weighted" `Quick test_time_weighted;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "delay advances clock" `Quick test_engine_delay_advances_clock;
+          Alcotest.test_case "interleaving" `Quick test_engine_interleaving;
+          Alcotest.test_case "until horizon" `Quick test_engine_until;
+          Alcotest.test_case "fork" `Quick test_engine_fork;
+          Alcotest.test_case "suspend/resume" `Quick test_engine_suspend_resume;
+          Alcotest.test_case "deadlock detectable" `Quick test_engine_deadlock_detectable;
+          Alcotest.test_case "outside process" `Quick test_engine_outside_process;
+          Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "negative delay clamped" `Quick test_engine_negative_delay_clamped;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "semaphore mutex" `Quick test_semaphore_mutual_exclusion;
+          Alcotest.test_case "semaphore try" `Quick test_semaphore_try_acquire;
+          Alcotest.test_case "resource capacity" `Quick test_resource_capacity_and_utilisation;
+          Alcotest.test_case "mailbox fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "mailbox buffered" `Quick test_mailbox_buffered_before_recv;
+          Alcotest.test_case "gate broadcast" `Quick test_gate_broadcast;
+          Alcotest.test_case "condition repeated" `Quick test_condition_repeated_signal;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "order and tags" `Quick test_trace_order_and_tags;
+          Alcotest.test_case "disabled" `Quick test_trace_disabled;
+          Alcotest.test_case "capacity" `Quick test_trace_capacity;
+        ] );
+      ("properties", qcheck_cases);
+    ]

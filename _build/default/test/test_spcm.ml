@@ -1,0 +1,259 @@
+(* Tests for the System Page Cache Manager and the dram memory market. *)
+
+module K = Epcm_kernel
+module Seg = Epcm_segment
+module M = Spcm_market
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+let sec s = s *. 1_000_000.0
+
+(* ------------------------------------------------------------------ *)
+(* Market                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let market ?config () = M.create ?config ~page_size:4096 ()
+
+let test_market_income_accrues () =
+  let m = market () in
+  let a = M.open_account m ~name:"a" ~income:10.0 ~now_us:0.0 in
+  M.settle m ~now_us:(sec 5.0);
+  check_float "5s of income" 50.0 (M.account m a).M.balance
+
+let test_market_holding_charge () =
+  (* 256 pages = 1 MB at rate D=1: one dram per second, against income
+     10/s. *)
+  let m = market () in
+  let a = M.open_account m ~name:"a" ~income:10.0 ~now_us:0.0 in
+  M.set_demand m true;
+  M.note_holding_change m a ~delta_pages:256 ~now_us:0.0;
+  M.settle m ~now_us:(sec 10.0);
+  let acc = M.account m a in
+  check_float "income - M*D*T" (100.0 -. 10.0) acc.M.balance;
+  check_float "charged total" 10.0 acc.M.total_charged
+
+let test_market_free_when_idle () =
+  let m = market () in
+  let a = M.open_account m ~name:"a" ~income:0.0 ~now_us:0.0 in
+  M.note_holding_change m a ~delta_pages:256 ~now_us:0.0;
+  M.set_demand m false;
+  M.settle m ~now_us:(sec 10.0);
+  check_float "no charge while idle" 0.0 (M.account m a).M.balance
+
+let test_market_savings_tax () =
+  let cfg = { M.default_config with savings_tax_rate = 0.1; savings_tax_threshold = 10.0 } in
+  let m = market ~config:cfg () in
+  let a = M.open_account m ~name:"hoarder" ~income:100.0 ~now_us:0.0 in
+  M.settle m ~now_us:(sec 1.0);
+  (* Earned 100; excess over 10 gets taxed at 10%/s for the interval. *)
+  let acc = M.account m a in
+  check_bool "taxed" true (acc.M.total_taxed > 0.0);
+  check_bool "balance below gross income" true (acc.M.balance < 100.0)
+
+let test_market_io_charge () =
+  let m = market () in
+  let a = M.open_account m ~name:"scanner" ~income:0.0 ~now_us:0.0 in
+  M.note_io m a ~ops:100;
+  check_float "paid for I/O" (-.100.0 *. M.default_config.M.io_charge) (M.account m a).M.balance;
+  check_int "ops recorded" 100 (M.account m a).M.io_ops
+
+let test_market_can_afford_and_bankrupt () =
+  let m = market () in
+  let a = M.open_account m ~name:"a" ~income:1.0 ~now_us:0.0 in
+  (* 2560 pages = 10MB at D=1 costs 10/s; income 1/s: not affordable. *)
+  check_bool "cannot afford" false (M.can_afford m a ~pages:2560 ~seconds:10.0);
+  check_bool "can afford small" true (M.can_afford m a ~pages:128 ~seconds:1.0);
+  check_bool "not bankrupt" false (M.bankrupt m a);
+  M.note_io m a ~ops:1000;
+  check_bool "bankrupt after splurge" true (M.bankrupt m a)
+
+let test_market_holdings_never_negative () =
+  let m = market () in
+  let a = M.open_account m ~name:"a" ~now_us:0.0 in
+  Alcotest.check_raises "negative holdings rejected"
+    (Invalid_argument "Spcm_market.note_holding_change: negative holdings") (fun () ->
+      M.note_holding_change m a ~delta_pages:(-1) ~now_us:0.0)
+
+(* ------------------------------------------------------------------ *)
+(* SPCM allocation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let spcm_setup ?(frames = 64) () =
+  let machine = Hw_machine.create ~memory_bytes:(frames * 4096) () in
+  let kernel = K.create machine in
+  let spcm = Spcm.create kernel () in
+  (machine, kernel, spcm)
+
+let test_spcm_grant () =
+  let _, kernel, spcm = spcm_setup () in
+  let c = Spcm.register_client ~income:1000.0 spcm ~name:"app" () in
+  let seg = K.create_segment kernel ~name:"data" ~pages:16 () in
+  (match Spcm.request spcm ~client:c ~dst:seg ~dst_page:0 ~count:8 () with
+  | Spcm.Granted 8 -> ()
+  | _ -> Alcotest.fail "expected full grant");
+  check_int "resident" 8 (Seg.resident_pages (K.segment kernel seg));
+  check_int "holding tracked" 8 (Spcm.client_stats spcm c).Spcm.cs_holding;
+  check_int "market holdings" 8 (Spcm.account_of spcm c).M.holding_pages
+
+let test_spcm_partial_grant () =
+  let _, kernel, spcm = spcm_setup ~frames:16 () in
+  let c = Spcm.register_client ~income:1000.0 spcm ~name:"big" () in
+  let seg = K.create_segment kernel ~name:"data" ~pages:64 () in
+  match Spcm.request spcm ~client:c ~dst:seg ~dst_page:0 ~count:64 () with
+  | Spcm.Granted n ->
+      check_bool "partial" true (n < 64 && n > 0);
+      check_int "granted all there was" 16 n
+  | _ -> Alcotest.fail "expected partial grant"
+
+let test_spcm_refused_when_broke () =
+  let _, kernel, spcm = spcm_setup () in
+  (* Income too low to pay for 32 pages over the 10s horizon. *)
+  let c = Spcm.register_client ~income:0.0001 spcm ~name:"poor" () in
+  let seg = K.create_segment kernel ~name:"data" ~pages:64 () in
+  match Spcm.request spcm ~client:c ~dst:seg ~dst_page:0 ~count:32 () with
+  | Spcm.Refused -> ()
+  | _ -> Alcotest.fail "expected refusal"
+
+let test_spcm_return_pages () =
+  let _, kernel, spcm = spcm_setup () in
+  let c = Spcm.register_client ~income:1000.0 spcm ~name:"app" () in
+  let seg = K.create_segment kernel ~name:"data" ~pages:16 () in
+  ignore (Spcm.request spcm ~client:c ~dst:seg ~dst_page:0 ~count:8 ());
+  let free_before = Spcm.free_frames spcm in
+  Spcm.return_pages spcm ~client:c ~seg ~page:0 ~count:8;
+  check_int "frames back" (free_before + 8) (Spcm.free_frames spcm);
+  check_int "holding zero" 0 (Spcm.client_stats spcm c).Spcm.cs_holding
+
+let test_spcm_color_constraint () =
+  let machine, kernel, spcm = spcm_setup () in
+  let c = Spcm.register_client ~income:1000.0 spcm ~name:"colored" () in
+  let seg = K.create_segment kernel ~name:"data" ~pages:8 () in
+  (match
+     Spcm.request spcm ~client:c ~dst:seg ~dst_page:0 ~count:3 ~constraint_:(Spcm.Color 5) ()
+   with
+  | Spcm.Granted 3 -> ()
+  | _ -> Alcotest.fail "expected colored grant");
+  let attrs = K.get_page_attributes kernel ~seg ~page:0 ~count:3 in
+  Array.iter
+    (fun a ->
+      let f = Option.get a.K.pa_frame in
+      check_int "right color" 5 (Hw_phys_mem.frame machine.Hw_machine.mem f).Hw_phys_mem.color)
+    attrs
+
+let test_spcm_phys_range_constraint () =
+  let _, kernel, spcm = spcm_setup () in
+  let c = Spcm.register_client ~income:1000.0 spcm ~name:"placed" () in
+  let seg = K.create_segment kernel ~name:"data" ~pages:8 () in
+  let lo = 16 * 4096 and hi = 24 * 4096 in
+  (match
+     Spcm.request spcm ~client:c ~dst:seg ~dst_page:0 ~count:4
+       ~constraint_:(Spcm.Phys_range { lo_addr = lo; hi_addr = hi })
+       ()
+   with
+  | Spcm.Granted 4 -> ()
+  | _ -> Alcotest.fail "expected range grant");
+  let attrs = K.get_page_attributes kernel ~seg ~page:0 ~count:4 in
+  Array.iter
+    (fun a ->
+      let addr = Option.get a.K.pa_phys_addr in
+      check_bool "in range" true (addr >= lo && addr < hi))
+    attrs
+
+let test_spcm_constrained_exhaustion_gives_partial () =
+  (* Only 2 frames of color 7 exist in a 32-frame machine with 16 colors. *)
+  let _, kernel, spcm = spcm_setup ~frames:32 () in
+  let c = Spcm.register_client ~income:1000.0 spcm ~name:"colored" () in
+  let seg = K.create_segment kernel ~name:"data" ~pages:8 () in
+  match
+    Spcm.request spcm ~client:c ~dst:seg ~dst_page:0 ~count:5 ~constraint_:(Spcm.Color 7) ()
+  with
+  | Spcm.Granted 2 -> ()
+  | Spcm.Granted n -> Alcotest.failf "expected 2, got %d" n
+  | _ -> Alcotest.fail "expected partial colored grant"
+
+let test_spcm_reclaims_from_other_clients () =
+  let _, kernel, spcm = spcm_setup ~frames:32 () in
+  (* Client A holds everything through a manager that returns on
+     pressure. *)
+  let seg_a = K.create_segment kernel ~name:"a-data" ~pages:32 () in
+  let returned = ref 0 in
+  let mid =
+    K.register_manager kernel ~name:"a-mgr" ~mode:`In_process
+      ~on_fault:(fun _ -> ())
+      ~on_pressure:(fun ~pages ->
+        let give = min pages (Seg.resident_pages (K.segment kernel seg_a)) in
+        K.release_frames kernel ~seg:seg_a ~page:0 ~count:32 |> ignore;
+        returned := give;
+        give)
+      ()
+  in
+  let a = Spcm.register_client ~income:1000.0 ~manager:mid spcm ~name:"hog" () in
+  ignore (Spcm.request spcm ~client:a ~dst:seg_a ~dst_page:0 ~count:32 ());
+  check_int "hog took everything" 0 (Spcm.free_frames spcm);
+  (* Client B's request forces reclamation. *)
+  let b = Spcm.register_client ~income:1000.0 spcm ~name:"newcomer" () in
+  let seg_b = K.create_segment kernel ~name:"b-data" ~pages:8 () in
+  (match Spcm.request spcm ~client:b ~dst:seg_b ~dst_page:0 ~count:8 () with
+  | Spcm.Granted n -> check_bool "granted after reclaim" true (n > 0)
+  | _ -> Alcotest.fail "expected grant after reclaim");
+  check_bool "pressure callback ran" true (!returned > 0)
+
+let test_spcm_source_adapter () =
+  let _, kernel, spcm = spcm_setup () in
+  let c = Spcm.register_client ~income:1000.0 spcm ~name:"app" () in
+  let source = Spcm.source_for spcm c in
+  let seg = K.create_segment kernel ~name:"data" ~pages:8 () in
+  check_int "adapter grants" 4 (source ~dst:seg ~dst_page:0 ~count:4)
+
+let test_spcm_note_returned () =
+  let _, kernel, spcm = spcm_setup () in
+  let c = Spcm.register_client ~income:1000.0 spcm ~name:"batch" () in
+  let seg = K.create_segment kernel ~name:"data" ~pages:16 () in
+  ignore (Spcm.request spcm ~client:c ~dst:seg ~dst_page:0 ~count:8 ());
+  (* The client's manager releases directly to the initial segment (as
+     swap_out does), then reconciles the account. *)
+  K.release_frames kernel ~seg ~page:0 ~count:8;
+  Spcm.note_returned spcm ~client:c ~count:8;
+  check_int "holdings reconciled" 0 (Spcm.client_stats spcm c).Spcm.cs_holding;
+  check_int "market agrees" 0 (Spcm.account_of spcm c).M.holding_pages
+
+let test_spcm_frame_conservation () =
+  let _, kernel, spcm = spcm_setup ~frames:32 () in
+  let c = Spcm.register_client ~income:1000.0 spcm ~name:"app" () in
+  let seg = K.create_segment kernel ~name:"data" ~pages:16 () in
+  ignore (Spcm.request spcm ~client:c ~dst:seg ~dst_page:0 ~count:10 ());
+  Spcm.return_pages spcm ~client:c ~seg ~page:0 ~count:5;
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 (K.frame_owner_audit kernel) in
+  check_int "every frame owned exactly once" 32 total
+
+let () =
+  Alcotest.run "spcm"
+    [
+      ( "market",
+        [
+          Alcotest.test_case "income accrues" `Quick test_market_income_accrues;
+          Alcotest.test_case "holding charge M*D*T" `Quick test_market_holding_charge;
+          Alcotest.test_case "free when idle" `Quick test_market_free_when_idle;
+          Alcotest.test_case "savings tax" `Quick test_market_savings_tax;
+          Alcotest.test_case "io charge" `Quick test_market_io_charge;
+          Alcotest.test_case "afford/bankrupt" `Quick test_market_can_afford_and_bankrupt;
+          Alcotest.test_case "holdings nonnegative" `Quick test_market_holdings_never_negative;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "grant" `Quick test_spcm_grant;
+          Alcotest.test_case "partial grant" `Quick test_spcm_partial_grant;
+          Alcotest.test_case "refused when broke" `Quick test_spcm_refused_when_broke;
+          Alcotest.test_case "return pages" `Quick test_spcm_return_pages;
+          Alcotest.test_case "color constraint" `Quick test_spcm_color_constraint;
+          Alcotest.test_case "phys range constraint" `Quick test_spcm_phys_range_constraint;
+          Alcotest.test_case "constrained exhaustion partial" `Quick
+            test_spcm_constrained_exhaustion_gives_partial;
+          Alcotest.test_case "reclaims from clients" `Quick test_spcm_reclaims_from_other_clients;
+          Alcotest.test_case "source adapter" `Quick test_spcm_source_adapter;
+          Alcotest.test_case "note returned" `Quick test_spcm_note_returned;
+          Alcotest.test_case "frame conservation" `Quick test_spcm_frame_conservation;
+        ] );
+    ]
