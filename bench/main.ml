@@ -41,7 +41,12 @@ let reproduce () =
       print_string (Exp_ablations.render a);
       print_newline ())
     (Exp_ablations.run_all ());
-  print_string (Exp_substrate.render (Exp_substrate.run ()))
+  print_string (Exp_substrate.render (Exp_substrate.run ()));
+  print_newline ();
+  line ();
+  print_endline "Fault injection: seeded chaos storms on the disk paths";
+  line ();
+  print_string (Exp_chaos.render (Exp_chaos.run ()))
 
 (* One Test.make per table/figure. Table 4 runs in its quick (60 s
    simulated) configuration here so a Bechamel sample stays subsecond. *)
@@ -54,6 +59,7 @@ let tests =
       Test.make ~name:"table4.dbms-quick"
         (Staged.stage (fun () -> ignore (Exp_table4.run ~quick:true ())));
       Test.make ~name:"figures.protocol" (Staged.stage (fun () -> ignore (Exp_figures.run ())));
+      Test.make ~name:"chaos.storms" (Staged.stage (fun () -> ignore (Exp_chaos.run ())));
     ]
 
 let benchmark () =

@@ -12,6 +12,8 @@ let run_figures () = print_string (Exp_figures.render (Exp_figures.run ()))
 
 let run_stats () = print_string (Exp_substrate.render (Exp_substrate.run ()))
 
+let run_chaos seed () = print_string (Exp_chaos.render (Exp_chaos.run ?seed ()))
+
 let run_ablations () =
   List.iter
     (fun a ->
@@ -33,6 +35,12 @@ let run_all quick () =
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Shorten the Table 4 simulation (60s instead of 300s).")
 
+let seed_opt =
+  Arg.(
+    value
+    & opt (some int64) None
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Fault-plan seed (same seed, same storm).")
+
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
 let () =
@@ -49,6 +57,8 @@ let () =
         Term.(const run_ablations $ const ());
       cmd "stats" "Translation-substrate statistics (mapping hash, TLB) for the Table 2 runs"
         Term.(const run_stats $ const ());
+      cmd "chaos" "Seeded fault-injection storms on the disk/manager paths (not a paper table)"
+        Term.(const run_chaos $ seed_opt $ const ());
       cmd "all" "Every table and figure" Term.(const run_all $ quick_flag $ const ());
     ]
   in

@@ -615,6 +615,9 @@ let frame_owner_audit t =
     t.segments []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let frame_owner_total t =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (frame_owner_audit t)
+
 let render_address_space t sid =
   let seg = segment t sid in
   let buf = Buffer.create 512 in

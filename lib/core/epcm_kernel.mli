@@ -198,5 +198,10 @@ val frame_owner_audit : t -> (int * int) list
     live segments. The sum over all segments always equals the number of
     physical frames. *)
 
+val frame_owner_total : t -> int
+(** The sum of {!frame_owner_audit}: total frames owned by live segments.
+    Chaos scenarios assert it equals the machine's frame count after every
+    fault storm — injected failures must never leak a frame. *)
+
 val render_address_space : t -> Epcm_segment.id -> string
 (** Figure 1-style dump of a composed address space. *)

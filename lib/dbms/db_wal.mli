@@ -17,8 +17,22 @@ type t
 type lsn = int
 (** Log sequence numbers, monotonically increasing from 1. *)
 
-val create : Hw_disk.t -> ?record_bytes:int -> unit -> t
-(** [record_bytes] (default 256) sizes the disk transfer of a flush. *)
+exception Flush_failed of { lsn : lsn; attempts : int }
+(** The log could not be forced to disk within the retry budget. [flushed]
+    has not advanced: the durable prefix is intact and recovery replays
+    from it (a torn write never acknowledges lost records). *)
+
+val create :
+  Hw_disk.t ->
+  ?record_bytes:int ->
+  ?retry:Mgr_backing.retry ->
+  ?counters:Sim_stats.Counters.t ->
+  unit ->
+  t
+(** [record_bytes] (default 256) sizes the disk transfer of a flush.
+    [retry] bounds attempts per flush (default {!Mgr_backing.default_retry});
+    [counters] receives "wal.flush_retries" / "wal.flush_failed" /
+    "wal.eviction_vetoed" events. *)
 
 val append : t -> lsn
 (** Buffer one log record, returning its LSN. No I/O. *)
@@ -31,15 +45,25 @@ val page_lsn : t -> seg:Epcm_segment.id -> page:int -> lsn option
 val flush_to : t -> lsn:lsn -> unit
 (** Force the log to disk up to and including [lsn] (no-op if already
     flushed). One disk write covers every pending record — group
-    commit. Must run inside a simulation process. *)
+    commit. Must run inside a simulation process.
+
+    @raise Flush_failed when the retry budget is exhausted. *)
 
 val commit : t -> lsn:lsn -> unit
-(** Transaction commit: force the log through [lsn]. *)
+(** Transaction commit: force the log through [lsn].
+
+    @raise Flush_failed — the transaction is {e not} durable. *)
 
 val flushed : t -> lsn
 val appended : t -> lsn
 val flushes : t -> int
 (** Disk writes the log has performed. *)
+
+val flush_retries : t -> int
+(** Failed transfer attempts that were retried. *)
+
+val flush_failures : t -> int
+(** Flushes abandoned after exhausting the retry budget. *)
 
 val wal_violations : t -> int
 (** Writebacks that would have hit disk before their log records — always
@@ -58,4 +82,8 @@ val eviction_hook :
   dirty:bool ->
   [ `Writeback | `Discard ]
 (** Wrap an eviction decision with the WAL rule: if the inner policy says
-    [`Writeback] and the page has an unflushed LSN, flush the log first. *)
+    [`Writeback] and the page has an unflushed LSN, flush the log first.
+    If even the retried flush fails, the hook raises
+    {!Mgr_backing.Backing_failed} — the manager's vocabulary for "skip
+    this page" — so the dirty data page stays resident rather than
+    reaching disk ahead of its log records. *)

@@ -9,43 +9,87 @@ type params = {
 
 let default_params = { seek_us = 12_000.0; half_rotation_us = 4_150.0; us_per_kb = 666.0 }
 
+type op = [ `Read | `Write ]
+
+exception Io_error of { op : op; block : int option }
+
 type t = {
   params : params;
   arm : Resource.t;
+  mutable chaos : Sim_chaos.t option;
   mutable reads : int;
   mutable writes : int;
   mutable bytes_read : int;
   mutable bytes_written : int;
+  mutable read_errors : int;
+  mutable write_errors : int;
+  mutable injected_delay_us : float;
 }
 
 let create engine ?(params = default_params) () =
   {
     params;
     arm = Resource.create engine ~capacity:1;
+    chaos = None;
     reads = 0;
     writes = 0;
     bytes_read = 0;
     bytes_written = 0;
+    read_errors = 0;
+    write_errors = 0;
+    injected_delay_us = 0.0;
   }
+
+let set_chaos t plan = t.chaos <- plan
+let chaos t = t.chaos
 
 let access_time_us t ~bytes =
   t.params.seek_us +. t.params.half_rotation_us
   +. (float_of_int bytes /. 1024.0 *. t.params.us_per_kb)
 
-let transfer t ~bytes = Resource.use t.arm (fun () -> Engine.delay (access_time_us t ~bytes))
+(* The error, if any, surfaces after the arm has done the work: a failed
+   transfer costs full service time (plus any injected burst), exactly the
+   retry-storm convoy a real disk produces. *)
+let transfer t ~(op : op) ~block ~bytes =
+  Resource.use t.arm (fun () ->
+      Engine.delay (access_time_us t ~bytes);
+      match t.chaos with
+      | None -> ()
+      | Some plan -> (
+          let site =
+            match op with `Read -> Sim_chaos.Disk_read | `Write -> Sim_chaos.Disk_write
+          in
+          match Sim_chaos.decide plan site ~now:(Engine.time ()) ~block with
+          | Sim_chaos.Verdict.Pass -> ()
+          | Sim_chaos.Verdict.Delay us ->
+              t.injected_delay_us <- t.injected_delay_us +. us;
+              Engine.delay us
+          | Sim_chaos.Verdict.Transient_failure | Sim_chaos.Verdict.Permanent_failure ->
+              (match op with
+              | `Read -> t.read_errors <- t.read_errors + 1
+              | `Write -> t.write_errors <- t.write_errors + 1);
+              raise (Io_error { op; block })))
 
-let read t ~bytes =
+let read_op t ~block ~bytes =
   t.reads <- t.reads + 1;
   t.bytes_read <- t.bytes_read + bytes;
-  transfer t ~bytes
+  transfer t ~op:`Read ~block ~bytes
 
-let write t ~bytes =
+let write_op t ~block ~bytes =
   t.writes <- t.writes + 1;
   t.bytes_written <- t.bytes_written + bytes;
-  transfer t ~bytes
+  transfer t ~op:`Write ~block ~bytes
+
+let read t ~bytes = read_op t ~block:None ~bytes
+let write t ~bytes = write_op t ~block:None ~bytes
+let read_at t ~block ~bytes = read_op t ~block:(Some block) ~bytes
+let write_at t ~block ~bytes = write_op t ~block:(Some block) ~bytes
 
 let reads t = t.reads
 let writes t = t.writes
 let bytes_read t = t.bytes_read
 let bytes_written t = t.bytes_written
+let read_errors t = t.read_errors
+let write_errors t = t.write_errors
+let injected_delay_us t = t.injected_delay_us
 let busy_fraction t = Resource.utilisation t.arm

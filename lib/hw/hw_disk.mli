@@ -18,20 +18,54 @@ val default_params : params
 (** ~12 ms seek, ~8.3 ms rotation (3600 rpm), ~0.65 µs/byte
     (≈1.5 MB/s sustained): a typical 1992 SCSI disk. *)
 
+type op = [ `Read | `Write ]
+
+exception Io_error of { op : op; block : int option }
+(** Raised by {!read}/{!write} when the attached chaos plan injects a
+    failure. The arm has already done its (useless) work: the full service
+    time — plus any injected burst — has been charged before the exception
+    surfaces, so retries queue behind other traffic exactly as on a real
+    disk. *)
+
 type t
 
 val create : Sim_engine.t -> ?params:params -> unit -> t
+(** No chaos plan attached; every transfer succeeds. *)
+
+val set_chaos : t -> Sim_chaos.t option -> unit
+(** Attach (or detach, with [None]) a fault plan. With [None] — the
+    default — the transfer path is byte-identical to a plan-free disk:
+    no RNG draws, no extra charges, no recording. *)
+
+val chaos : t -> Sim_chaos.t option
 
 val access_time_us : t -> bytes:int -> float
 (** Raw service time for one transfer, without queueing. *)
 
 val read : t -> bytes:int -> unit
-(** Blocks the calling process for queueing + service time. *)
+(** Blocks the calling process for queueing + service time.
+
+    @raise Io_error if the chaos plan fails this attempt. *)
 
 val write : t -> bytes:int -> unit
+(** @raise Io_error if the chaos plan fails this attempt. *)
+
+val read_at : t -> block:int -> bytes:int -> unit
+(** Like {!read}, naming the block so the chaos plan's bad-block list can
+    match it. Anonymous {!read}s only see probabilistic/outage injection. *)
+
+val write_at : t -> block:int -> bytes:int -> unit
 
 val reads : t -> int
 val writes : t -> int
 val bytes_read : t -> int
 val bytes_written : t -> int
+
+val read_errors : t -> int
+(** Injected read failures so far (attempts are counted in {!reads} too). *)
+
+val write_errors : t -> int
+val injected_delay_us : t -> float
+(** Total extra latency injected by [Delay] verdicts. *)
+
 val busy_fraction : t -> float

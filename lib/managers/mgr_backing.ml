@@ -1,34 +1,93 @@
 type latency = No_latency | Disk of { device : Hw_disk.t; page_bytes : int }
 
+type retry = { attempts : int; backoff_us : float }
+
+let default_retry = { attempts = 3; backoff_us = 2_000.0 }
+
+exception Backing_failed of { op : Hw_disk.op; file : int; block : int; attempts : int }
+
 type t = {
   latency : latency;
+  retry : retry;
+  counters : Sim_stats.Counters.t option;
   table : (int * int, Hw_page_data.t) Hashtbl.t;
   mutable reads : int;
   mutable writes : int;
+  mutable io_retries : int;
+  mutable io_failures : int;
 }
 
-let memory () = { latency = No_latency; table = Hashtbl.create 256; reads = 0; writes = 0 }
+let make latency retry counters =
+  {
+    latency;
+    retry;
+    counters;
+    table = Hashtbl.create 256;
+    reads = 0;
+    writes = 0;
+    io_retries = 0;
+    io_failures = 0;
+  }
 
-let disk device ~page_bytes =
-  { latency = Disk { device; page_bytes }; table = Hashtbl.create 256; reads = 0; writes = 0 }
+let memory ?(retry = default_retry) ?counters () = make No_latency retry counters
+
+let disk ?(retry = default_retry) ?counters device ~page_bytes =
+  make (Disk { device; page_bytes }) retry counters
+
+let disk_block ~file ~block = (file * 1_000_000) + block
+
+let bump t name = Option.iter (fun c -> Sim_stats.Counters.incr c name) t.counters
+
+(* Backoff is simulated time; semantics-only tests run managers outside any
+   process, where waiting is meaningless (mirrors Hw_machine.charge). *)
+let backoff_wait us =
+  if us > 0.0 then try Sim_engine.delay us with Sim_engine.Not_in_process -> ()
+
+let op_name = function `Read -> "read" | `Write -> "write"
+
+let attempt_io t ~op ~file ~block =
+  match t.latency with
+  | No_latency -> ()
+  | Disk { device; page_bytes } -> (
+      let blk = disk_block ~file ~block in
+      match op with
+      | `Read -> Hw_disk.read_at device ~block:blk ~bytes:page_bytes
+      | `Write -> Hw_disk.write_at device ~block:blk ~bytes:page_bytes)
+
+let with_retry t ~op ~file ~block =
+  let max_attempts = max 1 t.retry.attempts in
+  let rec go n backoff =
+    try attempt_io t ~op ~file ~block
+    with Hw_disk.Io_error _ ->
+      if n >= max_attempts then begin
+        t.io_failures <- t.io_failures + 1;
+        bump t (Printf.sprintf "backing.%s_failed" (op_name op));
+        raise (Backing_failed { op; file; block; attempts = n })
+      end
+      else begin
+        t.io_retries <- t.io_retries + 1;
+        bump t (Printf.sprintf "backing.%s_retries" (op_name op));
+        backoff_wait backoff;
+        go (n + 1) (backoff *. 2.0)
+      end
+  in
+  go 1 t.retry.backoff_us
 
 let read_block t ~file ~block =
   t.reads <- t.reads + 1;
-  (match t.latency with
-  | No_latency -> ()
-  | Disk { device; page_bytes } -> Hw_disk.read device ~bytes:page_bytes);
+  with_retry t ~op:`Read ~file ~block;
   match Hashtbl.find_opt t.table (file, block) with
   | Some d -> d
   | None -> Hw_page_data.block ~file ~block ~version:0
 
 let write_block t ~file ~block data =
   t.writes <- t.writes + 1;
-  (match t.latency with
-  | No_latency -> ()
-  | Disk { device; page_bytes } -> Hw_disk.write device ~bytes:page_bytes);
+  with_retry t ~op:`Write ~file ~block;
   Hashtbl.replace t.table (file, block) data
 
 let has_block t ~file ~block = Hashtbl.mem t.table (file, block)
 
 let reads t = t.reads
 let writes t = t.writes
+let io_retries t = t.io_retries
+let io_failures t = t.io_failures

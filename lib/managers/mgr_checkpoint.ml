@@ -22,11 +22,18 @@ type t = {
   mutable mid : Mgr.id;
   pool : Mgr_free_pages.t;
   source : Mgr_generic.source;
+  backing : Mgr_backing.t option;
+  counters : Sim_stats.Counters.t option;
   segs : (Seg.id, seg_state) Hashtbl.t;
   mutable next_gen : generation;
   mutable preserved : int;
   mutable ckpt_faults : int;
+  mutable durable_writes : int;
+  mutable durable_failures : int;
 }
+
+let bump t name =
+  Option.iter (fun c -> Sim_stats.Counters.incr c ("checkpoint." ^ name)) t.counters
 
 let manager_id t = t.mid
 
@@ -95,17 +102,21 @@ let on_fault t (fault : Mgr.fault) =
       in
       assert (moved = 1)
 
-let create kern ~source ~pool_capacity () =
+let create kern ?backing ?counters ~source ~pool_capacity () =
   let t =
     {
       kern;
       mid = -1;
       pool = Mgr_free_pages.create kern ~name:"checkpoint.free-pages" ~capacity:pool_capacity;
       source;
+      backing;
+      counters;
       segs = Hashtbl.create 8;
       next_gen = 1;
       preserved = 0;
       ckpt_faults = 0;
+      durable_writes = 0;
+      durable_failures = 0;
     }
   in
   t.mid <-
@@ -148,6 +159,33 @@ let begin_checkpoint t ~seg =
   done;
   gen
 
+let durable_file ~seg ~generation = (seg * 4096) + generation
+
+(* Closing a generation pushes its images to the backing store, page order,
+   one write per image. A write that exhausts its retry budget costs the
+   image its durability, nothing more: it stays readable in memory and the
+   loss is counted, so the checkpoint still closes. *)
+let persist_generation t ~seg ~gen =
+  match t.backing with
+  | None -> ()
+  | Some backing ->
+      let st = state t seg in
+      let pages =
+        Hashtbl.fold (fun (g, p) _ acc -> if g = gen then p :: acc else acc) st.images []
+        |> List.sort compare
+      in
+      List.iter
+        (fun page ->
+          let data = Hashtbl.find st.images (gen, page) in
+          try
+            Mgr_backing.write_block backing ~file:(durable_file ~seg ~generation:gen)
+              ~block:page data;
+            t.durable_writes <- t.durable_writes + 1
+          with Mgr_backing.Backing_failed _ ->
+            t.durable_failures <- t.durable_failures + 1;
+            bump t "durable_write_lost")
+        pages
+
 let end_checkpoint t ~seg =
   let st = state t seg in
   match st.open_gen with
@@ -180,7 +218,8 @@ let end_checkpoint t ~seg =
       in
       unprotect_runs pages;
       Hashtbl.reset st.protected_pages;
-      st.open_gen <- None
+      st.open_gen <- None;
+      persist_generation t ~seg ~gen
 
 let read_checkpoint t ~seg ~generation ~page =
   let st = state t seg in
@@ -196,3 +235,5 @@ let read_checkpoint t ~seg ~generation ~page =
 
 let pages_preserved t = t.preserved
 let checkpoint_faults t = t.ckpt_faults
+let durable_writes t = t.durable_writes
+let durable_failures t = t.durable_failures

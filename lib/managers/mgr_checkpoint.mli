@@ -24,7 +24,22 @@ type t
 
 type generation = int
 
-val create : Epcm_kernel.t -> source:Mgr_generic.source -> pool_capacity:int -> unit -> t
+val create :
+  Epcm_kernel.t ->
+  ?backing:Mgr_backing.t ->
+  ?counters:Sim_stats.Counters.t ->
+  source:Mgr_generic.source ->
+  pool_capacity:int ->
+  unit ->
+  t
+(** [backing], when given, makes checkpoints durable: [end_checkpoint]
+    writes every image of the closing generation to it (file
+    [seg * 4096 + generation], block = page). A write that exhausts its
+    retry budget costs that image its durability only — it stays readable
+    in memory, the loss is counted in {!durable_failures} and reported as
+    "checkpoint.durable_write_lost" on [counters], and the checkpoint
+    still closes. Without [backing] the store is memory-only, as before. *)
+
 val manager_id : t -> Epcm_manager.id
 
 val create_segment : t -> name:string -> pages:int -> Epcm_segment.id
@@ -45,3 +60,10 @@ val pages_preserved : t -> int
 (** Old images copied because the mutator wrote during a checkpoint. *)
 
 val checkpoint_faults : t -> int
+
+val durable_writes : t -> int
+(** Generation images successfully persisted to the backing store. *)
+
+val durable_failures : t -> int
+(** Images whose persistence write exhausted its retry budget (still
+    readable in memory; durability lost and counted). *)

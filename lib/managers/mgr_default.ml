@@ -4,8 +4,10 @@ module G = Mgr_generic
 type t = {
   gen : G.t;
   files : (int, Epcm_segment.id) Hashtbl.t;  (* file id -> cached segment *)
+  counters : Sim_stats.Counters.t option;
   mutable closes : int;
   mutable admin_calls : int;
+  mutable flush_failures : int;
 }
 
 (* The paper: "the V++ default manager allocates pages in 4K units, except
@@ -23,13 +25,13 @@ let hooks ~backing =
         | G.File _ | G.Anon -> 1);
   }
 
-let create kernel ?backing ?source ?(pool_capacity = 4096) () =
+let create kernel ?backing ?source ?(pool_capacity = 4096) ?counters () =
   let backing = match backing with Some b -> b | None -> Mgr_backing.memory () in
   let gen =
     G.create kernel ~name:"ucds.default-manager" ~mode:`Separate_process ~backing
-      ?source ~hooks:(hooks ~backing) ~pool_capacity ()
+      ?source ~hooks:(hooks ~backing) ~pool_capacity ?counters ()
   in
-  { gen; files = Hashtbl.create 32; closes = 0; admin_calls = 0 }
+  { gen; files = Hashtbl.create 32; counters; closes = 0; admin_calls = 0; flush_failures = 0 }
 
 let generic t = t.gen
 let manager_id t = G.manager_id t.gen
@@ -100,12 +102,20 @@ let flush_file t seg =
       Array.iteri
         (fun page slot ->
           match slot.Epcm_segment.frame with
-          | Some frame when Epcm_flags.mem slot.Epcm_segment.flags Epcm_flags.dirty ->
+          | Some frame when Epcm_flags.mem slot.Epcm_segment.flags Epcm_flags.dirty -> (
               let data =
                 (Hw_phys_mem.frame (K.machine kern).Hw_machine.mem frame).Hw_phys_mem.data
               in
-              Mgr_backing.write_block backing ~file:fid ~block:page data;
-              K.modify_page_flags kern ~seg ~page ~count:1 ~clear_flags:Epcm_flags.dirty ()
+              (* The dirty bit only clears once the block is durably out;
+                 a failed write leaves it set so the next flush retries. *)
+              try
+                Mgr_backing.write_block backing ~file:fid ~block:page data;
+                K.modify_page_flags kern ~seg ~page ~count:1 ~clear_flags:Epcm_flags.dirty ()
+              with Mgr_backing.Backing_failed _ ->
+                t.flush_failures <- t.flush_failures + 1;
+                Option.iter
+                  (fun c -> Sim_stats.Counters.incr c "ucds.flush_page_failed")
+                  t.counters)
           | Some _ | None -> ())
         s.Epcm_segment.pages
 
@@ -124,6 +134,8 @@ let sample_working_sets t =
 let closes t = t.closes
 
 let admin_calls t = t.admin_calls
+
+let flush_failures t = t.flush_failures
 
 let total_manager_calls t =
   K.manager_calls_of (G.kernel t.gen) (G.manager_id t.gen) + t.closes + t.admin_calls

@@ -16,10 +16,13 @@ val create :
   ?backing:Mgr_backing.t ->
   ?source:Mgr_generic.source ->
   ?pool_capacity:int ->
+  ?counters:Sim_stats.Counters.t ->
   unit ->
   t
 (** [backing] defaults to the zero-latency memory store (the Tables 2–3
-    setup: files pre-cached, no disk in the measurement). *)
+    setup: files pre-cached, no disk in the measurement). [counters] is
+    shared with the underlying generic manager and also receives
+    "ucds.flush_page_failed" events. *)
 
 val generic : t -> Mgr_generic.t
 val manager_id : t -> Epcm_manager.id
@@ -40,7 +43,9 @@ val close_file : t -> Epcm_segment.id -> unit
 
 val flush_file : t -> Epcm_segment.id -> unit
 (** Write every dirty page of the file back to backing store and clean the
-    flags. *)
+    flags. A page whose write exhausts the backing retry budget keeps its
+    dirty flag — the next flush retries it — and is counted in
+    {!flush_failures}. *)
 
 val admin_call : ?requests:int -> t -> unit
 (** Other kernel-forwarded requests (open of a new file, fstat, unlink):
@@ -66,3 +71,6 @@ val total_manager_calls : t -> int
 
 val closes : t -> int
 val admin_calls : t -> int
+
+val flush_failures : t -> int
+(** Dirty pages {!flush_file} could not write out (left dirty). *)

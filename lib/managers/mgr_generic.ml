@@ -47,6 +47,8 @@ type stats = {
   mutable refill_requests : int;
   mutable frames_from_source : int;
   mutable closes : int;
+  mutable fill_failures : int;
+  mutable writeback_failures : int;
 }
 
 type seg_info = { kind : seg_kind; mutable high_water : int }
@@ -66,6 +68,7 @@ type t = {
   segs : (Seg.id, seg_info) Hashtbl.t;
   mutable ring : clock_entry list;  (* newest first; rebuilt lazily *)
   mutable hand : clock_entry list;  (* suffix of the scan order *)
+  counters : Sim_stats.Counters.t option;
   stats : stats;
   (* A manager serves one fault at a time, like the request loop of a real
      manager process: fills that suspend (disk reads) must not interleave
@@ -84,7 +87,11 @@ let fresh_stats () =
     refill_requests = 0;
     frames_from_source = 0;
     closes = 0;
+    fill_failures = 0;
+    writeback_failures = 0;
   }
+
+let bump t name = Option.iter (fun c -> Sim_stats.Counters.incr c (t.name ^ "." ^ name)) t.counters
 
 let kernel t = t.kern
 let manager_id t = t.mid
@@ -141,26 +148,42 @@ let evict_one t entry =
       end
       else begin
         let dirty = Flags.mem flags Flags.dirty in
-        (match t.hooks.on_eviction ~seg:entry.ce_seg ~page:entry.ce_page ~dirty with
-        | `Writeback ->
-            (match Hashtbl.find_opt t.segs entry.ce_seg with
-            | Some { kind = File { file_id }; _ } ->
+        let released =
+          (* The hook itself may fail too (a WAL hook that cannot flush its
+             log raises Backing_failed to veto the writeback). Either way
+             the degradation is the same: the page stays resident and
+             dirty, still owned by its segment, and the clock moves on to
+             a cleaner victim. A later pass retries it. *)
+          try
+            match t.hooks.on_eviction ~seg:entry.ce_seg ~page:entry.ce_page ~dirty with
+            | `Writeback ->
                 let data =
                   (Hw_phys_mem.frame (K.machine t.kern).Hw_machine.mem frame).Hw_phys_mem.data
                 in
-                Mgr_backing.write_block t.backing ~file:file_id ~block:entry.ce_page data
-            | Some { kind = Anon; _ } | None ->
-                (* Anonymous pages write to a swap area modelled by the
-                   same backing store under the segment id. *)
-                let data =
-                  (Hw_phys_mem.frame (K.machine t.kern).Hw_machine.mem frame).Hw_phys_mem.data
+                (* Anonymous pages write to a swap area modelled by the same
+                   backing store under the negated segment id. *)
+                let file =
+                  match Hashtbl.find_opt t.segs entry.ce_seg with
+                  | Some { kind = File { file_id }; _ } -> file_id
+                  | Some { kind = Anon; _ } | None -> -entry.ce_seg
                 in
-                Mgr_backing.write_block t.backing ~file:(-entry.ce_seg) ~block:entry.ce_page data);
-            t.stats.writebacks <- t.stats.writebacks + 1
-        | `Discard -> t.stats.discards <- t.stats.discards + 1);
-        Mgr_free_pages.put_from t.pool ~src:entry.ce_seg ~src_page:entry.ce_page;
-        t.stats.reclaimed <- t.stats.reclaimed + 1;
-        `Evicted
+                Mgr_backing.write_block t.backing ~file ~block:entry.ce_page data;
+                t.stats.writebacks <- t.stats.writebacks + 1;
+                true
+            | `Discard ->
+                t.stats.discards <- t.stats.discards + 1;
+                true
+          with Mgr_backing.Backing_failed _ ->
+            t.stats.writeback_failures <- t.stats.writeback_failures + 1;
+            bump t "writeback_skipped";
+            false
+        in
+        if not released then `Skip
+        else begin
+          Mgr_free_pages.put_from t.pool ~src:entry.ce_seg ~src_page:entry.ce_page;
+          t.stats.reclaimed <- t.stats.reclaimed + 1;
+          `Evicted
+        end
       end
 
 let reclaim t ~count =
@@ -224,10 +247,19 @@ let handle_missing t (fault : Mgr.fault) =
   let batch = max 1 (free_run fault.Mgr.f_page 0) in
   ensure_pool t ~count:batch;
   if batch = 1 then begin
-    match
-      t.hooks.fill ~seg:fault.Mgr.f_seg ~page:fault.Mgr.f_page ~kind:inf.kind
-        ~high_water:inf.high_water
-    with
+    let filled =
+      (* No frame has left the pool yet, so a failed fill leaves every
+         frame accounted for; the fault stays unresolved and the caller
+         sees the backing failure. *)
+      try
+        t.hooks.fill ~seg:fault.Mgr.f_seg ~page:fault.Mgr.f_page ~kind:inf.kind
+          ~high_water:inf.high_water
+      with Mgr_backing.Backing_failed _ as e ->
+        t.stats.fill_failures <- t.stats.fill_failures + 1;
+        bump t "fill_failed";
+        raise e
+    in
+    match filled with
     | Some data ->
         Hw_machine.trace_emit machine ~tag:"step2.request_data"
           (Printf.sprintf "seg %d page %d" fault.Mgr.f_seg fault.Mgr.f_page);
@@ -318,13 +350,20 @@ let on_close t seg =
             if Mgr_free_pages.room t.pool > 0 then begin
               (if Flags.mem slot.Seg.flags Flags.dirty then
                  match inf.kind with
-                 | File { file_id } ->
+                 | File { file_id } -> (
                      let data =
                        (Hw_phys_mem.frame (K.machine t.kern).Hw_machine.mem frame)
                          .Hw_phys_mem.data
                      in
-                     Mgr_backing.write_block t.backing ~file:file_id ~block:page data;
-                     t.stats.writebacks <- t.stats.writebacks + 1
+                     (* The segment is going away regardless; an exhausted
+                        retry budget here is explicit, counted data loss,
+                        not a reason to wedge the close. *)
+                     try
+                       Mgr_backing.write_block t.backing ~file:file_id ~block:page data;
+                       t.stats.writebacks <- t.stats.writebacks + 1
+                     with Mgr_backing.Backing_failed _ ->
+                       t.stats.writeback_failures <- t.stats.writeback_failures + 1;
+                       bump t "close_writeback_lost")
                  | Anon -> t.stats.discards <- t.stats.discards + 1);
               Mgr_free_pages.put_from t.pool ~src:seg ~src_page:page
             end
@@ -369,7 +408,7 @@ let swap_in t =
     (Hashtbl.fold (fun k _ acc -> k :: acc) t.segs [])
 
 let create kern ~name ~mode ~backing ?source ?hooks ?(pool_capacity = 1024) ?(refill_batch = 32)
-    ?(reclaim_batch = 16) () =
+    ?(reclaim_batch = 16) ?counters () =
   let hooks = match hooks with Some h -> h | None -> default_hooks ~backing in
   let pool = Mgr_free_pages.create kern ~name:(name ^ ".free-pages") ~capacity:pool_capacity in
   let t =
@@ -386,6 +425,7 @@ let create kern ~name ~mode ~backing ?source ?hooks ?(pool_capacity = 1024) ?(re
       segs = Hashtbl.create 16;
       ring = [];
       hand = [];
+      counters;
       stats = fresh_stats ();
       serving = Sim_sync.Semaphore.create 1;
     }

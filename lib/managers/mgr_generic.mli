@@ -53,6 +53,13 @@ type stats = {
   mutable refill_requests : int;
   mutable frames_from_source : int;
   mutable closes : int;
+  mutable fill_failures : int;
+      (** Missing faults abandoned because backing reads exhausted their
+          retry budget ({!Mgr_backing.Backing_failed} re-raised to the
+          faulting process; no frame left the pool). *)
+  mutable writeback_failures : int;
+      (** Evictions skipped (page left resident + dirty) or close-time
+          writebacks lost because backing writes exhausted their budget. *)
 }
 
 type t
@@ -67,11 +74,15 @@ val create :
   ?pool_capacity:int ->
   ?refill_batch:int ->
   ?reclaim_batch:int ->
+  ?counters:Sim_stats.Counters.t ->
   unit ->
   t
 (** Registers the manager with the kernel and creates its free-page
     segment. [pool_capacity] defaults to 1024 slots; [refill_batch] (frames
-    per SPCM request) to 32; [reclaim_batch] to 16. *)
+    per SPCM request) to 32; [reclaim_batch] to 16. [counters], when given,
+    receives the degradation events ("<name>.writeback_skipped",
+    "<name>.fill_failed", "<name>.close_writeback_lost") so a chaos
+    scenario can report every manager's failure handling in one place. *)
 
 val kernel : t -> Epcm_kernel.t
 val manager_id : t -> Epcm_manager.id

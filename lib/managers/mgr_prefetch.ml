@@ -19,11 +19,16 @@ type t = {
   pool_lock : Semaphore.t;
   segs : (Seg.id, seg_info) Hashtbl.t;
   pending : (Seg.id * int, Gate.t) Hashtbl.t;
+  counters : Sim_stats.Counters.t option;
   mutable prefetches : int;
   mutable demand_fills : int;
   mutable absorbed : int;
   mutable discards : int;
+  mutable prefetch_failures : int;
+  mutable degraded : int;
 }
+
+let bump t name = Option.iter (fun c -> Sim_stats.Counters.incr c ("prefetch." ^ name)) t.counters
 
 let manager_id t = t.mid
 
@@ -76,7 +81,15 @@ let on_fault t (fault : Mgr.fault) =
       | Some gate ->
           (* Read-ahead already in flight: just wait for it. *)
           t.absorbed <- t.absorbed + 1;
-          Gate.wait gate
+          Gate.wait gate;
+          (* The prefetch may have died on an injected disk error; the gate
+             opens either way. Returning with the page still absent would
+             leave the fault unresolved, so degrade to a demand fill. *)
+          if page_absent t fault.Mgr.f_seg fault.Mgr.f_page then begin
+            t.degraded <- t.degraded + 1;
+            bump t "degraded_to_demand";
+            fill_page t fault.Mgr.f_seg fault.Mgr.f_page
+          end
       | None ->
           t.demand_fills <- t.demand_fills + 1;
           fill_page t fault.Mgr.f_seg fault.Mgr.f_page)
@@ -85,9 +98,11 @@ let on_fault t (fault : Mgr.fault) =
         ~clear_flags:(Flags.of_list [ Flags.no_access; Flags.read_only ])
         ()
 
-let create kern ?disk ~source ~pool_capacity () =
+let create kern ?disk ?retry ?counters ~source ~pool_capacity () =
   let disk = Option.value disk ~default:(K.machine kern).Hw_machine.disk in
-  let backing = Mgr_backing.disk disk ~page_bytes:(Hw_machine.page_size (K.machine kern)) in
+  let backing =
+    Mgr_backing.disk ?retry ?counters disk ~page_bytes:(Hw_machine.page_size (K.machine kern))
+  in
   let t =
     {
       kern;
@@ -98,10 +113,13 @@ let create kern ?disk ~source ~pool_capacity () =
       pool_lock = Semaphore.create 1;
       segs = Hashtbl.create 8;
       pending = Hashtbl.create 64;
+      counters;
       prefetches = 0;
       demand_fills = 0;
       absorbed = 0;
       discards = 0;
+      prefetch_failures = 0;
+      degraded = 0;
     }
   in
   t.mid <- K.register_manager kern ~name:"prefetch-manager" ~mode:`In_process
@@ -126,7 +144,15 @@ let prefetch t ~seg ~page ~count =
             ~finally:(fun () ->
               Hashtbl.remove t.pending key;
               Gate.open_ gate)
-            (fun () -> fill_page t seg p))
+            (fun () ->
+              (* A forked process has no caller to unwind to — an escaped
+                 exception would abort the whole simulation. Absorb the
+                 failure; the page stays absent and any waiter degrades to
+                 a demand fill. *)
+              try fill_page t seg p
+              with Mgr_backing.Backing_failed _ | Mgr_generic.Out_of_frames _ ->
+                t.prefetch_failures <- t.prefetch_failures + 1;
+                bump t "prefetch_fill_failed"))
     end
   done
 
@@ -149,3 +175,5 @@ let prefetches_started t = t.prefetches
 let demand_fills t = t.demand_fills
 let absorbed_faults t = t.absorbed
 let discards t = t.discards
+let prefetch_failures t = t.prefetch_failures
+let degraded_to_demand t = t.degraded

@@ -18,10 +18,17 @@ type t
 val create :
   Epcm_kernel.t ->
   ?disk:Hw_disk.t ->
+  ?retry:Mgr_backing.retry ->
+  ?counters:Sim_stats.Counters.t ->
   source:Mgr_generic.source ->
   pool_capacity:int ->
   unit ->
   t
+(** [retry] bounds the backing store's attempts per transfer; [counters]
+    receives degradation events ("prefetch.prefetch_fill_failed",
+    "prefetch.degraded_to_demand"). A forked prefetch that exhausts its
+    retry budget dies silently — the page stays absent and a fault on it
+    degrades to an inline demand fill rather than wedging on the gate. *)
 
 val manager_id : t -> Epcm_manager.id
 
@@ -47,3 +54,9 @@ val absorbed_faults : t -> int
 (** Faults that found a prefetch in flight and only waited for it. *)
 
 val discards : t -> int
+
+val prefetch_failures : t -> int
+(** Forked prefetches that died on a backing failure (page left absent). *)
+
+val degraded_to_demand : t -> int
+(** Faults that waited on a failed prefetch and then filled inline. *)

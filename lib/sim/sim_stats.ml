@@ -138,6 +138,31 @@ module Histogram = struct
     Buffer.contents buf
 end
 
+module Counters = struct
+  type t = (string, int) Hashtbl.t
+
+  let create () = Hashtbl.create 16
+
+  let incr ?(by = 1) t name =
+    Hashtbl.replace t name ((try Hashtbl.find t name with Not_found -> 0) + by)
+
+  let get t name = try Hashtbl.find t name with Not_found -> 0
+
+  let to_list t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let total t = Hashtbl.fold (fun _ v acc -> acc + v) t 0
+  let clear t = Hashtbl.reset t
+
+  let render t =
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-40s %8d\n" name v))
+      (to_list t);
+    Buffer.contents buf
+end
+
 module Time_weighted = struct
   type t = {
     mutable last_time : float;

@@ -1,0 +1,372 @@
+(* Chaos regression tests: seeded fault storms against every disk-touching
+   layer, asserting the three properties the fault-injection subsystem
+   promises — no frame leaks (conservation audit after every storm),
+   bounded retries (the budget is a hard ceiling, observable in counters),
+   and eventual completion (the workload finishes and recovers once the
+   plan is detached) — plus seed-for-seed replay equality. *)
+
+module K = Epcm_kernel
+module Seg = Epcm_segment
+module Mgr = Epcm_manager
+module G = Mgr_generic
+module Machine = Hw_machine
+module Engine = Sim_engine
+module Chaos = Sim_chaos
+module Counters = Sim_stats.Counters
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* One disk read of a 4096-byte page costs seek + half rotation + transfer
+   = 12 000 + 4 150 + 4 × 666 = 18 814 µs, so an outage window of
+   [0, 20 000) fails exactly the first attempt and lets the first retry
+   (which completes around t = 39.6 ms) through. *)
+let page_read_us = 18_814.0
+
+let kernel_with_source ~frames () =
+  let machine = Machine.create ~memory_bytes:(frames * 4096) () in
+  let kernel = K.create machine in
+  let init = K.initial_segment kernel in
+  let next = ref 0 in
+  let source ~dst ~dst_page ~count =
+    let init_seg = K.segment kernel init in
+    let granted = ref 0 in
+    while !granted < count && !next < Seg.length init_seg do
+      (if (Seg.page init_seg !next).Seg.frame <> None then begin
+         K.migrate_pages kernel ~src:init ~dst ~src_page:!next ~dst_page:(dst_page + !granted)
+           ~count:1 ();
+         incr granted
+       end);
+      incr next
+    done;
+    !granted
+  in
+  (machine, kernel, source)
+
+(* ------------------------------------------------------------------ *)
+(* Mgr_backing: the retry loop itself                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* An outage that swallows only the first attempt: the read succeeds on
+   retry, costs exactly one extra device attempt, and is not a failure. *)
+let test_backing_retry_transient () =
+  let engine = Engine.create () in
+  let disk = Hw_disk.create engine () in
+  let chaos =
+    Chaos.create ~seed:7L { Chaos.default_spec with outages = [ (0.0, page_read_us +. 1.0) ] }
+  in
+  Hw_disk.set_chaos disk (Some chaos);
+  let backing = Mgr_backing.disk disk ~page_bytes:4096 in
+  let ok = ref false in
+  Engine.spawn engine (fun () ->
+      ignore (Mgr_backing.read_block backing ~file:1 ~block:0);
+      ok := true);
+  Engine.run engine;
+  check_bool "read eventually succeeded" true !ok;
+  check_int "one logical read" 1 (Mgr_backing.reads backing);
+  check_int "one retry" 1 (Mgr_backing.io_retries backing);
+  check_int "no failures" 0 (Mgr_backing.io_failures backing);
+  check_int "device saw two attempts" 2 (Hw_disk.reads disk)
+
+(* Certain failure: the budget is a hard ceiling — exactly [attempts]
+   device attempts, then Backing_failed carrying the logical address. *)
+let test_backing_retry_exhaustion () =
+  let engine = Engine.create () in
+  let disk = Hw_disk.create engine () in
+  let chaos = Chaos.create ~seed:7L { Chaos.default_spec with read_error_p = 1.0 } in
+  Hw_disk.set_chaos disk (Some chaos);
+  let retry = { Mgr_backing.attempts = 4; backoff_us = 100.0 } in
+  let backing = Mgr_backing.disk ~retry disk ~page_bytes:4096 in
+  let outcome = ref None in
+  Engine.spawn engine (fun () ->
+      try ignore (Mgr_backing.read_block backing ~file:2 ~block:5)
+      with Mgr_backing.Backing_failed { op; file; block; attempts } ->
+        outcome := Some (op, file, block, attempts));
+  Engine.run engine;
+  (match !outcome with
+  | Some (`Read, 2, 5, 4) -> ()
+  | Some _ -> Alcotest.fail "Backing_failed carried the wrong address"
+  | None -> Alcotest.fail "retry budget exhaustion did not raise");
+  check_int "attempts - 1 retries" 3 (Mgr_backing.io_retries backing);
+  check_int "one abandoned operation" 1 (Mgr_backing.io_failures backing);
+  check_int "device attempts = budget" 4 (Hw_disk.reads disk)
+
+(* A permanently bad block fails every attempt; its neighbours are fine. *)
+let test_backing_bad_block () =
+  let engine = Engine.create () in
+  let disk = Hw_disk.create engine () in
+  let bad = Mgr_backing.disk_block ~file:3 ~block:9 in
+  let chaos = Chaos.create ~seed:7L { Chaos.default_spec with bad_blocks = [ bad ] } in
+  Hw_disk.set_chaos disk (Some chaos);
+  let backing = Mgr_backing.disk disk ~page_bytes:4096 in
+  let bad_failed = ref false and neighbour_ok = ref false in
+  Engine.spawn engine (fun () ->
+      (try ignore (Mgr_backing.read_block backing ~file:3 ~block:9)
+       with Mgr_backing.Backing_failed _ -> bad_failed := true);
+      ignore (Mgr_backing.read_block backing ~file:3 ~block:10);
+      neighbour_ok := true);
+  Engine.run engine;
+  check_bool "bad block failed" true !bad_failed;
+  check_bool "neighbour block unaffected" true !neighbour_ok
+
+(* ------------------------------------------------------------------ *)
+(* Mgr_generic: storm, conservation, completion                        *)
+(* ------------------------------------------------------------------ *)
+
+let generic_storm ~seed =
+  let frames = 48 in
+  let pages = 64 in
+  let machine, kernel, source = kernel_with_source ~frames () in
+  let counters = Counters.create () in
+  let chaos =
+    Chaos.create ~seed
+      {
+        Chaos.default_spec with
+        read_error_p = 0.08;
+        write_error_p = 0.1;
+        delay_p = 0.05;
+        delay_min_us = 100.0;
+        delay_max_us = 1_000.0;
+      }
+  in
+  Hw_disk.set_chaos machine.Machine.disk (Some chaos);
+  let retry = { Mgr_backing.attempts = 3; backoff_us = 300.0 } in
+  let backing = Mgr_backing.disk ~retry ~counters machine.Machine.disk ~page_bytes:4096 in
+  let g =
+    G.create kernel ~name:"storm" ~mode:`In_process ~backing ~source ~pool_capacity:32
+      ~refill_batch:8 ~reclaim_batch:4 ~counters ()
+  in
+  let seg =
+    G.create_segment g ~name:"data" ~pages ~kind:(G.File { file_id = 7 }) ~high_water:pages ()
+  in
+  let app_failures = ref 0 in
+  Engine.spawn machine.Machine.engine (fun () ->
+      for round = 0 to 2 do
+        for page = 0 to pages - 1 do
+          let access = if (page + round) mod 2 = 0 then Mgr.Write else Mgr.Read in
+          try K.touch kernel ~space:seg ~page ~access
+          with Mgr_backing.Backing_failed _ -> incr app_failures
+        done
+      done);
+  Engine.run machine.Machine.engine;
+  Hw_disk.set_chaos machine.Machine.disk None;
+  (machine, kernel, g, chaos, counters, !app_failures, seg)
+
+let test_generic_storm () =
+  let machine, kernel, g, chaos, _counters, _fails, seg = generic_storm ~seed:11L in
+  (* No frame leaks, however many fills and writebacks were abandoned. *)
+  check_int "frame conservation" (Machine.n_frames machine) (K.frame_owner_total kernel);
+  check_bool "the storm actually stormed" true (Chaos.injected_failures chaos > 0);
+  (* Bounded retries: the device never saw more attempts per logical
+     operation than the budget allows. *)
+  let logical = Mgr_backing.reads (G.backing g) + Mgr_backing.writes (G.backing g) in
+  let budget = 3 in
+  check_bool "retries within budget" true
+    (Mgr_backing.io_retries (G.backing g) <= logical * (budget - 1));
+  (* Eventual completion: with the plan detached every page is reachable
+     and no process is left wedged. *)
+  let survivors = ref 0 in
+  Engine.spawn machine.Machine.engine (fun () ->
+      for page = 0 to 63 do
+        K.touch kernel ~space:seg ~page ~access:Mgr.Read;
+        incr survivors
+      done);
+  Engine.run machine.Machine.engine;
+  check_int "all pages reachable after recovery" 64 !survivors;
+  check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine);
+  check_int "frame conservation after recovery" (Machine.n_frames machine)
+    (K.frame_owner_total kernel)
+
+let test_generic_storm_replay () =
+  let observe seed =
+    let _, kernel, g, chaos, counters, fails, _ = generic_storm ~seed in
+    ( Chaos.schedule_fingerprint chaos,
+      Chaos.decisions chaos,
+      Counters.to_list counters,
+      fails,
+      (G.stats g).G.fill_failures,
+      (G.stats g).G.writeback_failures,
+      K.frame_owner_total kernel )
+  in
+  let a = observe 11L and b = observe 11L and c = observe 12L in
+  check_bool "same seed, same storm (schedule, counters, degradations)" true (a = b);
+  let fp (f, _, _, _, _, _, _) = f in
+  check_bool "different seed, different storm" true (fp a <> fp c)
+
+(* ------------------------------------------------------------------ *)
+(* Mgr_prefetch: forked fills dying, faults degrading to demand        *)
+(* ------------------------------------------------------------------ *)
+
+let test_prefetch_degrades () =
+  let frames = 48 in
+  let machine, kernel, source = kernel_with_source ~frames () in
+  let counters = Counters.create () in
+  let chaos = Chaos.create ~seed:21L { Chaos.default_spec with read_error_p = 0.45 } in
+  Hw_disk.set_chaos machine.Machine.disk (Some chaos);
+  let p =
+    Mgr_prefetch.create kernel
+      ~retry:{ Mgr_backing.attempts = 2; backoff_us = 200.0 }
+      ~counters ~source ~pool_capacity:48 ()
+  in
+  let seg = Mgr_prefetch.create_file_segment p ~name:"scan" ~file_id:3 ~pages:32 in
+  let app_failures = ref 0 in
+  Engine.spawn machine.Machine.engine (fun () ->
+      for batch = 0 to 3 do
+        let base = batch * 8 in
+        Mgr_prefetch.prefetch p ~seg ~page:base ~count:8;
+        Engine.delay 5_000.0;
+        for page = base to base + 7 do
+          try K.touch kernel ~space:seg ~page ~access:Mgr.Read
+          with Mgr_backing.Backing_failed _ -> incr app_failures
+        done
+      done);
+  Engine.run machine.Machine.engine;
+  Hw_disk.set_chaos machine.Machine.disk None;
+  check_int "frame conservation" (Machine.n_frames machine) (K.frame_owner_total kernel);
+  check_int "no wedged waiters" 0 (Engine.live_processes machine.Machine.engine);
+  (* With a 20% error rate over 32 prefetched pages some forked fill died
+     (seed-pinned), and every such page was served by degradation instead
+     of wedging its waiter on the gate. *)
+  check_bool "some prefetch fills died" true (Mgr_prefetch.prefetch_failures p > 0);
+  check_bool "faults degraded to demand fills" true
+    (Mgr_prefetch.degraded_to_demand p + Mgr_prefetch.demand_fills p > 0);
+  (* Completion: every page of the scan is resident or reachable now. *)
+  let ok = ref 0 in
+  Engine.spawn machine.Machine.engine (fun () ->
+      for page = 0 to 31 do
+        K.touch kernel ~space:seg ~page ~access:Mgr.Read;
+        incr ok
+      done);
+  Engine.run machine.Machine.engine;
+  check_int "scan completes after the storm" 32 !ok
+
+(* ------------------------------------------------------------------ *)
+(* Db_wal: torn writes never acknowledge lost records                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_wal_torn_write () =
+  let engine = Engine.create () in
+  let disk = Hw_disk.create engine () in
+  let counters = Counters.create () in
+  let chaos = Chaos.create ~seed:33L { Chaos.default_spec with write_error_p = 1.0 } in
+  Hw_disk.set_chaos disk (Some chaos);
+  let wal =
+    Db_wal.create disk ~retry:{ Mgr_backing.attempts = 2; backoff_us = 100.0 } ~counters ()
+  in
+  let torn = ref false in
+  Engine.spawn engine (fun () ->
+      let lsn = ref 0 in
+      for _ = 1 to 5 do
+        lsn := Db_wal.append wal
+      done;
+      try Db_wal.flush_to wal ~lsn:!lsn
+      with Db_wal.Flush_failed { lsn = l; attempts = 2 } when l = !lsn -> torn := true);
+  Engine.run engine;
+  check_bool "flush failed as Flush_failed{attempts=2}" true !torn;
+  (* The durable prefix did not advance — a torn write acknowledges
+     nothing. *)
+  check_int "flushed LSN unchanged" 0 (Db_wal.flushed wal);
+  check_bool "retries counted" true (Db_wal.flush_retries wal > 0);
+  check_int "failures counted" 1 (Db_wal.flush_failures wal);
+  (* Device healthy again: recovery forces the whole log. *)
+  Hw_disk.set_chaos disk None;
+  Engine.spawn engine (fun () -> Db_wal.flush_to wal ~lsn:(Db_wal.appended wal));
+  Engine.run engine;
+  check_int "recovery flushed everything" 5 (Db_wal.flushed wal)
+
+(* ------------------------------------------------------------------ *)
+(* Mgr_checkpoint: durability loss is counted, never wedges a close    *)
+(* ------------------------------------------------------------------ *)
+
+let test_checkpoint_durable_loss () =
+  let frames = 48 in
+  let machine, kernel, source = kernel_with_source ~frames () in
+  let counters = Counters.create () in
+  let chaos = Chaos.create ~seed:44L { Chaos.default_spec with write_error_p = 0.3 } in
+  let backing =
+    Mgr_backing.disk
+      ~retry:{ Mgr_backing.attempts = 2; backoff_us = 100.0 }
+      ~counters machine.Machine.disk ~page_bytes:4096
+  in
+  let c = Mgr_checkpoint.create kernel ~backing ~counters ~source ~pool_capacity:32 () in
+  let seg = Mgr_checkpoint.create_segment c ~name:"heap" ~pages:16 in
+  let closed = ref 0 in
+  Engine.spawn machine.Machine.engine (fun () ->
+      for page = 0 to 15 do
+        K.touch kernel ~space:seg ~page ~access:Mgr.Write
+      done;
+      Hw_disk.set_chaos machine.Machine.disk (Some chaos);
+      for _ = 0 to 1 do
+        ignore (Mgr_checkpoint.begin_checkpoint c ~seg);
+        for page = 0 to 15 do
+          K.touch kernel ~space:seg ~page ~access:Mgr.Write
+        done;
+        Mgr_checkpoint.end_checkpoint c ~seg;
+        incr closed
+      done);
+  Engine.run machine.Machine.engine;
+  Hw_disk.set_chaos machine.Machine.disk None;
+  check_int "both checkpoints closed despite lost images" 2 !closed;
+  check_bool "durability losses counted" true (Mgr_checkpoint.durable_failures c > 0);
+  check_bool "most images made it" true
+    (Mgr_checkpoint.durable_writes c > Mgr_checkpoint.durable_failures c);
+  check_int "frame conservation" (Machine.n_frames machine) (K.frame_owner_total kernel);
+  check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine)
+
+(* ------------------------------------------------------------------ *)
+(* The full experiment: every scenario, run twice, replay-equal        *)
+(* ------------------------------------------------------------------ *)
+
+let test_exp_chaos_end_to_end () =
+  let r = Exp_chaos.run () in
+  check_bool "replay: second run identical to the first" true r.Exp_chaos.replay_ok;
+  List.iter
+    (fun s ->
+      check_int
+        (s.Exp_chaos.s_name ^ ": frame conservation")
+        s.Exp_chaos.s_frames_expected s.Exp_chaos.s_frames_owned;
+      check_bool (s.Exp_chaos.s_name ^ ": storm injected failures") true
+        (s.Exp_chaos.s_injected_failures > 0);
+      check_bool (s.Exp_chaos.s_name ^ ": recovered after detach") true s.Exp_chaos.s_recovered)
+    r.Exp_chaos.scenarios;
+  List.iter
+    (fun c -> check_bool (c.Exp_report.what ^ " passed") true c.Exp_report.pass)
+    r.Exp_chaos.checks
+
+let test_exp_chaos_seed_sensitivity () =
+  let a = Exp_chaos.run () in
+  let b = Exp_chaos.run ~seed:99L () in
+  let fps r = List.map (fun s -> s.Exp_chaos.s_fingerprint) r.Exp_chaos.scenarios in
+  check_bool "different seed, different storms" true (fps a <> fps b);
+  check_bool "other seeds also conserve frames and recover" true
+    (List.for_all
+       (fun s ->
+         s.Exp_chaos.s_frames_owned = s.Exp_chaos.s_frames_expected && s.Exp_chaos.s_recovered)
+       b.Exp_chaos.scenarios)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "backing retries",
+        [
+          Alcotest.test_case "transient outage is retried" `Quick test_backing_retry_transient;
+          Alcotest.test_case "budget exhaustion raises" `Quick test_backing_retry_exhaustion;
+          Alcotest.test_case "bad block is permanent" `Quick test_backing_bad_block;
+        ] );
+      ( "generic manager",
+        [
+          Alcotest.test_case "storm: conservation + completion" `Quick test_generic_storm;
+          Alcotest.test_case "storm replays seed-for-seed" `Quick test_generic_storm_replay;
+        ] );
+      ( "prefetch manager",
+        [ Alcotest.test_case "dead fills degrade to demand" `Quick test_prefetch_degrades ] );
+      ("write-ahead log", [ Alcotest.test_case "torn writes" `Quick test_wal_torn_write ]);
+      ( "checkpoint manager",
+        [ Alcotest.test_case "durability loss is survivable" `Quick test_checkpoint_durable_loss ]
+      );
+      ( "experiment",
+        [
+          Alcotest.test_case "all scenarios, replayed" `Quick test_exp_chaos_end_to_end;
+          Alcotest.test_case "seed sensitivity" `Quick test_exp_chaos_seed_sensitivity;
+        ] );
+    ]

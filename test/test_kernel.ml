@@ -665,6 +665,52 @@ let test_timing_second_touch_free () =
   let elapsed = timed machine (fun () -> K.touch k ~space:seg ~page:0 ~access:Mgr.Read) in
   check_bool "warm touch under 1us" true (elapsed <= 1.0)
 
+(* Table 1 pin: the emergent fault/IO sums must not move when the fault
+   injection machinery is present but disabled — no plan, the inert
+   [Sim_chaos.none] plan, and an enabled all-zero-probability plan must
+   all be observationally free. *)
+let test_table1_rows_with_injection_disabled () =
+  let plans =
+    [
+      ("no plan", None);
+      ("inert plan", Some (Sim_chaos.none ()));
+      ("zero-probability plan", Some (Sim_chaos.create ~seed:1L Sim_chaos.default_spec));
+    ]
+  in
+  List.iter
+    (fun (what, plan) ->
+      let machine, k, g, seg = minimal_manager_setup ~mode:`In_process () in
+      Hw_disk.set_chaos machine.Machine.disk plan;
+      Mgr_generic.ensure_pool g ~count:8;
+      let fault = timed machine (fun () -> K.touch k ~space:seg ~page:0 ~access:Mgr.Write) in
+      check_float (what ^ ": in-process fault = 107") 107.0 fault;
+      let read = timed machine (fun () -> ignore (K.uio_read k ~seg ~page:0)) in
+      check_float (what ^ ": cached read = 222") 222.0 read;
+      let write =
+        timed machine (fun () -> K.uio_write k ~seg ~page:0 (Hw_page_data.of_string "x"))
+      in
+      check_float (what ^ ": cached write = 203") 203.0 write)
+    plans;
+  let machine, k, g, seg = minimal_manager_setup ~mode:`Separate_process () in
+  Hw_disk.set_chaos machine.Machine.disk (Some (Sim_chaos.none ()));
+  Mgr_generic.ensure_pool g ~count:8;
+  let fault = timed machine (fun () -> K.touch k ~space:seg ~page:0 ~access:Mgr.Write) in
+  check_float "inert plan: via-manager fault = 379" 379.0 fault;
+  (* All eight Table 1 rows, as the cost-table identities they sum to. *)
+  let c = Hw_cost.decstation_5000_200 in
+  List.iter
+    (fun (name, expect, got) -> check_float name expect got)
+    [
+      ("V++ fault in-process = 107", 107.0, Hw_cost.vpp_minimal_fault_in_process c);
+      ("V++ fault via manager = 379", 379.0, Hw_cost.vpp_minimal_fault_via_manager c);
+      ("Ultrix fault = 175", 175.0, Hw_cost.ultrix_minimal_fault c);
+      ("Ultrix reprotect = 152", 152.0, Hw_cost.ultrix_user_reprotect_fault c);
+      ("V++ read 4KB = 222", 222.0, Hw_cost.vpp_read_4kb c);
+      ("V++ write 4KB = 203", 203.0, Hw_cost.vpp_write_4kb c);
+      ("Ultrix read 4KB = 211", 211.0, Hw_cost.ultrix_read_4kb c);
+      ("Ultrix write 4KB = 311", 311.0, Hw_cost.ultrix_write_4kb c);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Cost-model calibration identities                                   *)
 (* ------------------------------------------------------------------ *)
@@ -792,6 +838,8 @@ let () =
         [
           Alcotest.test_case "in-process fault = 107us" `Quick test_timing_minimal_fault_in_process;
           Alcotest.test_case "via-manager fault = 379us" `Quick test_timing_minimal_fault_via_manager;
+          Alcotest.test_case "Table 1 rows with injection disabled" `Quick
+            test_table1_rows_with_injection_disabled;
           Alcotest.test_case "uio cached read/write" `Quick test_timing_uio_cached;
           Alcotest.test_case "warm touch ~free" `Quick test_timing_second_touch_free;
           Alcotest.test_case "calibration identities" `Quick test_cost_calibration;

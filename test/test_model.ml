@@ -1,0 +1,589 @@
+(* Model-based differential testing of the epcm kernel.
+
+   [Model] below is a pure reference implementation — association lists
+   and functional updates, no hashtables, no Hw state, no mutation — of
+   the kernel's segment / binding / migrate / flag semantics:
+
+   - segment lifecycle: create, grow, destroy (frames return to the
+     initial segment, first free slot at or cyclically after the frame's
+     own index), the initial segment holding every frame at boot;
+   - MigratePages with set/clear flag masks, including the partial
+     application the kernel exhibits when a mid-range page errors
+     (earlier pages stay migrated);
+   - ModifyPageFlags ([diff (union before set) clear]);
+   - ReleaseFrames (resident pages only, non-resident skipped);
+   - zero_pages error behaviour (No_frame on the first absent page);
+   - bind_region validation (initial-segment check, range checks on both
+     sides, overlap) and binding resolution (resolve_slot chain, depth
+     limit, private page shadowing a binding).
+
+   Deliberately out of scope — covered by test_kernel / test_managers:
+   managers and fault delivery, copy-on-write materialisation, the UIO
+   interface, translation caches, and all cost accounting. The model has
+   no notion of time; the kernel side runs outside a simulation process
+   so charges no-op, making the two directly comparable.
+
+   The differential property drives both the model and a real
+   [Epcm_kernel] through the same random operation sequences (>= 500
+   sequences per run) and compares the full observable state after every
+   single step: result or error of the operation (constructor and
+   payload), per-segment liveness, length, per-page frame and flags,
+   resolve_slot on every page of every live segment, and frame
+   conservation on both sides. *)
+
+module K = Epcm_kernel
+module Seg = Epcm_segment
+module Flags = Epcm_flags
+module Machine = Hw_machine
+
+let n_frames = 32
+let bogus_sid = 999
+
+(* ------------------------------------------------------------------ *)
+(* The pure model                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Model = struct
+  type mpage = { pframe : int option; pflags : Flags.t }
+
+  type mbind = { b_at : int; b_len : int; b_target : int; b_target_page : int }
+
+  type mseg = {
+    s_alive : bool;
+    s_len : int;
+    s_pages : (int * mpage) list;  (* page index -> state *)
+    s_binds : mbind list;  (* newest first, like the kernel *)
+  }
+
+  type t = {
+    segs : (int * mseg) list;  (* segment id -> segment, dead ones kept *)
+    next_id : int;
+    nframes : int;
+  }
+
+  let empty_page = { pframe = None; pflags = Flags.empty }
+
+  let init n =
+    let pages = List.init n (fun i -> (i, { pframe = Some i; pflags = Flags.empty })) in
+    {
+      segs = [ (0, { s_alive = true; s_len = n; s_pages = pages; s_binds = [] }) ];
+      next_id = 1;
+      nframes = n;
+    }
+
+  let seg_ids m = List.sort compare (List.map fst m.segs)
+  let seg_exn m sid = List.assoc sid m.segs
+  let page_exn s i = List.assoc i s.s_pages
+
+  let set_page s i p = { s with s_pages = (i, p) :: List.remove_assoc i s.s_pages }
+
+  let update_seg m sid f =
+    { m with segs = (sid, f (seg_exn m sid)) :: List.remove_assoc sid m.segs }
+
+  (* Mirrors [Epcm_kernel.segment]. *)
+  let lookup m sid =
+    match List.assoc_opt sid m.segs with
+    | None -> Error (K.No_such_segment sid)
+    | Some s when not s.s_alive -> Error (K.Dead_segment sid)
+    | Some s -> Ok s
+
+  (* Mirrors [Epcm_kernel.check_range]. *)
+  let check_range sid s page count =
+    if count < 0 || page < 0 || page + count > s.s_len then
+      Error (K.Page_out_of_range { seg = sid; page; length = s.s_len })
+    else Ok ()
+
+  (* Mirrors [return_frame_to_initial]: first free initial slot at or
+     cyclically after the frame's own index. *)
+  let return_frame m f =
+    let init_seg = seg_exn m 0 in
+    let n = init_seg.s_len in
+    let rec find i tried =
+      if tried >= n then failwith "model: initial segment full"
+      else if (page_exn init_seg i).pframe = None then i
+      else find ((i + 1) mod n) (tried + 1)
+    in
+    let idx = find (f mod n) 0 in
+    update_seg m 0 (fun s -> set_page s idx { pframe = Some f; pflags = Flags.empty })
+
+  let create m pages =
+    let sid = m.next_id in
+    let pages_l = List.init pages (fun i -> (i, empty_page)) in
+    let seg = { s_alive = true; s_len = pages; s_pages = pages_l; s_binds = [] } in
+    ({ m with segs = (sid, seg) :: m.segs; next_id = sid + 1 }, Ok ())
+
+  let destroy m sid =
+    if sid = 0 then (m, Error K.Initial_segment_operation)
+    else
+      match lookup m sid with
+      | Error e -> (m, Error e)
+      | Ok s ->
+          (* Frames go back to initial in ascending page order. *)
+          let m =
+            List.fold_left
+              (fun m i ->
+                let s = seg_exn m sid in
+                match (page_exn s i).pframe with
+                | None -> m
+                | Some f ->
+                    let m = update_seg m sid (fun s -> set_page s i empty_page) in
+                    return_frame m f)
+              m
+              (List.init s.s_len (fun i -> i))
+          in
+          (update_seg m sid (fun s -> { s with s_alive = false }), Ok ())
+
+  let grow m sid pages =
+    match lookup m sid with
+    | Error e -> (m, Error e)
+    | Ok s ->
+        let fresh = List.init pages (fun i -> (s.s_len + i, empty_page)) in
+        ( update_seg m sid (fun s -> { s with s_len = s.s_len + pages; s_pages = s.s_pages @ fresh }),
+          Ok () )
+
+  let migrate m ~src ~dst ~src_page ~dst_page ~count ~set ~clear =
+    match lookup m src with
+    | Error e -> (m, Error e)
+    | Ok ssrc -> (
+        match lookup m dst with
+        | Error e -> (m, Error e)
+        | Ok sdst -> (
+            (* All model segments share the machine page size, so the kernel's
+               Page_size_mismatch check cannot fire here. *)
+            match check_range src ssrc src_page count with
+            | Error e -> (m, Error e)
+            | Ok () -> (
+                match check_range dst sdst dst_page count with
+                | Error e -> (m, Error e)
+                | Ok () ->
+                    (* Per-page, with the kernel's partial application: a
+                       mid-range error leaves the earlier pages migrated. *)
+                    let rec loop m i =
+                      if i >= count then (m, Ok ())
+                      else
+                        let sp = page_exn (seg_exn m src) (src_page + i) in
+                        match sp.pframe with
+                        | None -> (m, Error (K.No_frame { seg = src; page = src_page + i }))
+                        | Some f ->
+                            let dp = page_exn (seg_exn m dst) (dst_page + i) in
+                            if dp.pframe <> None then
+                              (m, Error (K.Frame_present { seg = dst; page = dst_page + i }))
+                            else
+                              let moved = Flags.diff (Flags.union sp.pflags set) clear in
+                              let m =
+                                update_seg m dst (fun s ->
+                                    set_page s (dst_page + i) { pframe = Some f; pflags = moved })
+                              in
+                              let m =
+                                update_seg m src (fun s -> set_page s (src_page + i) empty_page)
+                              in
+                              loop m (i + 1)
+                    in
+                    loop m 0)))
+
+  let modify m ~seg ~page ~count ~set ~clear =
+    match lookup m seg with
+    | Error e -> (m, Error e)
+    | Ok s -> (
+        match check_range seg s page count with
+        | Error e -> (m, Error e)
+        | Ok () ->
+            let m =
+              List.fold_left
+                (fun m i ->
+                  update_seg m seg (fun s ->
+                      let p = page_exn s i in
+                      set_page s i
+                        { p with pflags = Flags.diff (Flags.union p.pflags set) clear }))
+                m
+                (List.init count (fun i -> page + i))
+            in
+            (m, Ok ()))
+
+  let bind m ~space ~at ~len ~target ~target_page =
+    if space = 0 || target = 0 then (m, Error K.Initial_segment_operation)
+    else
+      match lookup m space with
+      | Error e -> (m, Error e)
+      | Ok sp -> (
+          match lookup m target with
+          | Error e -> (m, Error e)
+          | Ok tg ->
+              if len <= 0 || at < 0 || at + len > sp.s_len then
+                (m, Error (K.Binding_out_of_range { seg = space; at; len }))
+              else if target_page < 0 || target_page + len > tg.s_len then
+                (m, Error (K.Binding_out_of_range { seg = target; at = target_page; len }))
+              else if
+                List.exists
+                  (fun b -> at < b.b_at + b.b_len && b.b_at < at + len)
+                  sp.s_binds
+              then (m, Error (K.Binding_overlap { seg = space; at; len }))
+              else
+                ( update_seg m space (fun s ->
+                      {
+                        s with
+                        s_binds =
+                          { b_at = at; b_len = len; b_target = target; b_target_page = target_page }
+                          :: s.s_binds;
+                      }),
+                  Ok () ))
+
+  let release m ~seg ~page ~count =
+    if seg = 0 then (m, Error K.Initial_segment_operation)
+    else
+      match lookup m seg with
+      | Error e -> (m, Error e)
+      | Ok s -> (
+          match check_range seg s page count with
+          | Error e -> (m, Error e)
+          | Ok () ->
+              let m =
+                List.fold_left
+                  (fun m i ->
+                    let s = seg_exn m seg in
+                    match (page_exn s i).pframe with
+                    | None -> m
+                    | Some f ->
+                        let m = update_seg m seg (fun s -> set_page s i empty_page) in
+                        return_frame m f)
+                  m
+                  (List.init count (fun i -> page + i))
+              in
+              (m, Ok ()))
+
+  let zero m ~seg ~page ~count =
+    match lookup m seg with
+    | Error e -> (m, Error e)
+    | Ok s -> (
+        match check_range seg s page count with
+        | Error e -> (m, Error e)
+        | Ok () ->
+            (* Zeroing touches frame contents only — nothing this model
+               observes — so only the error behaviour matters: fail on the
+               first absent page in the range. *)
+            let rec scan i =
+              if i >= count then Ok ()
+              else
+                match (page_exn s (page + i)).pframe with
+                | None -> Error (K.No_frame { seg; page = page + i })
+                | Some _ -> scan (i + 1)
+            in
+            (m, scan 0))
+
+  (* Mirrors [resolve_chain] / [resolve_slot]: follow bindings from a slot
+     with no private frame; any error along the chain yields None. *)
+  let rec resolve ?(depth = 0) m sid page =
+    if depth > 8 then None
+    else
+      match lookup m sid with
+      | Error _ -> None
+      | Ok s -> (
+          if page < 0 || page >= s.s_len then None
+          else if (page_exn s page).pframe <> None then Some (sid, page)
+          else
+            match
+              List.find_opt (fun b -> page >= b.b_at && page < b.b_at + b.b_len) s.s_binds
+            with
+            | None -> Some (sid, page)
+            | Some b -> resolve ~depth:(depth + 1) m b.b_target (b.b_target_page + (page - b.b_at)))
+
+  (* Internal sanity: every physical frame owned by exactly one live
+     segment. *)
+  let frames_conserved m =
+    let frames =
+      List.concat_map
+        (fun (_, s) ->
+          if not s.s_alive then []
+          else List.filter_map (fun (_, p) -> p.pframe) s.s_pages)
+        m.segs
+    in
+    List.sort compare frames = List.init m.nframes (fun i -> i)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Operations and generators                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Segment references are picks: an index resolved against the model's
+   known segment ids (dead ones included, exercising Dead_segment) at
+   application time, with one sentinel value mapping to a never-created id
+   (exercising No_such_segment). Both sides see the same concrete id. *)
+type op =
+  | OCreate of int
+  | ODestroy of int
+  | OGrow of int * int
+  | OMigrate of int * int * int * int * int * int * int
+      (** src pick, dst pick, src_page, dst_page, count, set idx, clear idx *)
+  | OModify of int * int * int * int * int  (** pick, page, count, set idx, clear idx *)
+  | OBind of int * int * int * int * int * bool
+      (** space pick, at, len, target pick, target_page, cow *)
+  | ORelease of int * int * int
+  | OZero of int * int * int
+
+let flag_combos =
+  [|
+    Flags.empty;
+    Flags.dirty;
+    Flags.referenced;
+    Flags.no_access;
+    Flags.read_only;
+    Flags.pinned;
+    Flags.of_list [ Flags.dirty; Flags.referenced ];
+    Flags.of_list [ Flags.no_access; Flags.read_only ];
+  |]
+
+let flags_of i = flag_combos.(i mod Array.length flag_combos)
+
+let resolve_pick m p =
+  if p >= 6 then bogus_sid
+  else
+    let sids = Model.seg_ids m in
+    List.nth sids (p mod List.length sids)
+
+let op_to_string = function
+  | OCreate n -> Printf.sprintf "create(pages=%d)" n
+  | ODestroy p -> Printf.sprintf "destroy(pick=%d)" p
+  | OGrow (p, n) -> Printf.sprintf "grow(pick=%d, pages=%d)" p n
+  | OMigrate (s, d, sp, dp, c, fs, fc) ->
+      Printf.sprintf "migrate(src=%d, dst=%d, src_page=%d, dst_page=%d, count=%d, set=%d, clear=%d)"
+        s d sp dp c fs fc
+  | OModify (p, pg, c, fs, fc) ->
+      Printf.sprintf "modify(pick=%d, page=%d, count=%d, set=%d, clear=%d)" p pg c fs fc
+  | OBind (s, at, len, t, tp, cow) ->
+      Printf.sprintf "bind(space=%d, at=%d, len=%d, target=%d, target_page=%d, cow=%b)" s at len t
+        tp cow
+  | ORelease (p, pg, c) -> Printf.sprintf "release(pick=%d, page=%d, count=%d)" p pg c
+  | OZero (p, pg, c) -> Printf.sprintf "zero(pick=%d, page=%d, count=%d)" p pg c
+
+let ops_to_string ops = String.concat "; " (List.map op_to_string ops)
+
+let op_gen =
+  let open QCheck.Gen in
+  let pick = int_range 0 6 in
+  let wide_page = int_range (-1) 33 in
+  let small_page = int_range (-1) 7 in
+  let cnt = int_range (-1) 5 in
+  let flagi = int_range 0 7 in
+  frequency
+    [
+      (2, map (fun n -> OCreate n) (int_range 1 6));
+      (1, map (fun p -> ODestroy p) pick);
+      (1, map2 (fun p n -> OGrow (p, n)) pick (int_range 0 4));
+      ( 6,
+        pick >>= fun s ->
+        pick >>= fun d ->
+        wide_page >>= fun sp ->
+        wide_page >>= fun dp ->
+        cnt >>= fun c ->
+        flagi >>= fun fs ->
+        flagi >>= fun fc -> return (OMigrate (s, d, sp, dp, c, fs, fc)) );
+      ( 3,
+        pick >>= fun p ->
+        wide_page >>= fun pg ->
+        cnt >>= fun c ->
+        flagi >>= fun fs ->
+        flagi >>= fun fc -> return (OModify (p, pg, c, fs, fc)) );
+      ( 2,
+        pick >>= fun s ->
+        small_page >>= fun at ->
+        int_range (-1) 4 >>= fun len ->
+        pick >>= fun t ->
+        small_page >>= fun tp ->
+        bool >>= fun cow -> return (OBind (s, at, len, t, tp, cow)) );
+      ( 2,
+        pick >>= fun p ->
+        wide_page >>= fun pg -> cnt >>= fun c -> return (ORelease (p, pg, c)) );
+      ( 1,
+        pick >>= fun p ->
+        wide_page >>= fun pg -> cnt >>= fun c -> return (OZero (p, pg, c)) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Applying one op to both sides                                       *)
+(* ------------------------------------------------------------------ *)
+
+let apply_model m op =
+  match op with
+  | OCreate n -> Model.create m n
+  | ODestroy p -> Model.destroy m (resolve_pick m p)
+  | OGrow (p, n) -> Model.grow m (resolve_pick m p) n
+  | OMigrate (s, d, sp, dp, c, fs, fc) ->
+      Model.migrate m ~src:(resolve_pick m s) ~dst:(resolve_pick m d) ~src_page:sp ~dst_page:dp
+        ~count:c ~set:(flags_of fs) ~clear:(flags_of fc)
+  | OModify (p, pg, c, fs, fc) ->
+      Model.modify m ~seg:(resolve_pick m p) ~page:pg ~count:c ~set:(flags_of fs)
+        ~clear:(flags_of fc)
+  | OBind (s, at, len, t, tp, _cow) ->
+      Model.bind m ~space:(resolve_pick m s) ~at ~len ~target:(resolve_pick m t) ~target_page:tp
+  | ORelease (p, pg, c) -> Model.release m ~seg:(resolve_pick m p) ~page:pg ~count:c
+  | OZero (p, pg, c) -> Model.zero m ~seg:(resolve_pick m p) ~page:pg ~count:c
+
+(* [m] is the model state BEFORE the op — picks must resolve identically
+   on both sides. *)
+let apply_kernel k m op =
+  try
+    (match op with
+    | OCreate n -> ignore (K.create_segment k ~name:"diff" ~pages:n ())
+    | ODestroy p -> K.destroy_segment k (resolve_pick m p)
+    | OGrow (p, n) -> K.grow_segment k (resolve_pick m p) ~pages:n
+    | OMigrate (s, d, sp, dp, c, fs, fc) ->
+        K.migrate_pages k ~src:(resolve_pick m s) ~dst:(resolve_pick m d) ~src_page:sp
+          ~dst_page:dp ~count:c ~set_flags:(flags_of fs) ~clear_flags:(flags_of fc) ()
+    | OModify (p, pg, c, fs, fc) ->
+        K.modify_page_flags k ~seg:(resolve_pick m p) ~page:pg ~count:c ~set_flags:(flags_of fs)
+          ~clear_flags:(flags_of fc) ()
+    | OBind (s, at, len, t, tp, cow) ->
+        K.bind_region k ~space:(resolve_pick m s) ~at ~len ~target:(resolve_pick m t)
+          ~target_page:tp ~cow
+    | ORelease (p, pg, c) -> K.release_frames k ~seg:(resolve_pick m p) ~page:pg ~count:c
+    | OZero (p, pg, c) -> K.zero_pages k ~seg:(resolve_pick m p) ~page:pg ~count:c);
+    Ok ()
+  with K.Error e -> Error e
+
+let result_to_string = function
+  | Ok () -> "Ok"
+  | Error e -> "Error (" ^ K.error_to_string e ^ ")"
+
+(* ------------------------------------------------------------------ *)
+(* Observable-state comparison                                         *)
+(* ------------------------------------------------------------------ *)
+
+let flags_to_string f =
+  let bit name b acc = if Flags.mem f b then name :: acc else acc in
+  match
+    bit "dirty" Flags.dirty
+      (bit "ref" Flags.referenced
+         (bit "noacc" Flags.no_access
+            (bit "ro" Flags.read_only (bit "pin" Flags.pinned []))))
+  with
+  | [] -> "-"
+  | l -> String.concat "+" l
+
+(* Returns a description of the first divergence, or None when the kernel
+   and the model agree on every observable. *)
+let states_diverge k (m : Model.t) =
+  let problem = ref None in
+  let note fmt = Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt in
+  List.iter
+    (fun sid ->
+      let ms = Model.seg_exn m sid in
+      if K.segment_exists k sid <> ms.Model.s_alive then
+        note "segment %d: kernel exists=%b, model alive=%b" sid (K.segment_exists k sid)
+          ms.Model.s_alive
+      else if ms.Model.s_alive then begin
+        let seg = K.segment k sid in
+        if Seg.length seg <> ms.Model.s_len then
+          note "segment %d: kernel length %d, model length %d" sid (Seg.length seg)
+            ms.Model.s_len
+        else
+          for i = 0 to ms.Model.s_len - 1 do
+            let kp = Seg.page seg i and mp = Model.page_exn ms i in
+            if kp.Seg.frame <> mp.Model.pframe then
+              note "segment %d page %d: kernel frame %s, model frame %s" sid i
+                (match kp.Seg.frame with Some f -> string_of_int f | None -> "none")
+                (match mp.Model.pframe with Some f -> string_of_int f | None -> "none")
+            else if not (Flags.equal kp.Seg.flags mp.Model.pflags) then
+              note "segment %d page %d: kernel flags %s, model flags %s" sid i
+                (flags_to_string kp.Seg.flags)
+                (flags_to_string mp.Model.pflags);
+            let kr = K.resolve_slot k ~space:sid ~page:i and mr = Model.resolve m sid i in
+            if kr <> mr then
+              let show = function
+                | Some (s, p) -> Printf.sprintf "(%d,%d)" s p
+                | None -> "none"
+              in
+              note "segment %d page %d: kernel resolves to %s, model to %s" sid i (show kr)
+                (show mr)
+          done
+      end)
+    (Model.seg_ids m);
+  if K.frame_owner_total k <> n_frames then
+    note "kernel frame conservation broken: %d owned of %d" (K.frame_owner_total k) n_frames;
+  if not (Model.frames_conserved m) then note "model frame conservation broken";
+  !problem
+
+(* ------------------------------------------------------------------ *)
+(* The differential property                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_sequence ops =
+  let k = K.create (Machine.create ~memory_bytes:(n_frames * 4096) ()) in
+  let m = ref (Model.init n_frames) in
+  List.iteri
+    (fun step op ->
+      let kres = apply_kernel k !m op in
+      let m', mres = apply_model !m op in
+      m := m';
+      if kres <> mres then
+        QCheck.Test.fail_reportf "step %d (%s): kernel %s, model %s\nsequence: %s" step
+          (op_to_string op) (result_to_string kres) (result_to_string mres) (ops_to_string ops);
+      match states_diverge k !m with
+      | Some why ->
+          QCheck.Test.fail_reportf "step %d (%s): %s\nsequence: %s" step (op_to_string op) why
+            (ops_to_string ops)
+      | None -> ())
+    ops;
+  true
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops -> ops_to_string ops)
+    ~shrink:QCheck.Shrink.list
+    QCheck.Gen.(list_size (int_range 1 40) op_gen)
+
+let prop_differential =
+  QCheck.Test.make ~name:"kernel agrees with the pure model (500 sequences)" ~count:500 arb_ops
+    run_sequence
+
+(* A long-sequence variant: fewer runs, deeper state (more dead segments,
+   more recycled frames, longer binding chains). *)
+let prop_differential_deep =
+  QCheck.Test.make ~name:"kernel agrees with the pure model (deep sequences)" ~count:60
+    (QCheck.make
+       ~print:(fun ops -> ops_to_string ops)
+       ~shrink:QCheck.Shrink.list
+       QCheck.Gen.(list_size (int_range 60 150) op_gen))
+    run_sequence
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic spot checks of the model itself                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_model_boot () =
+  let m = Model.init n_frames in
+  Alcotest.(check bool) "boot conserves frames" true (Model.frames_conserved m);
+  let init_seg = Model.seg_exn m 0 in
+  Alcotest.(check int) "initial length" n_frames init_seg.Model.s_len;
+  Alcotest.(check bool)
+    "identity placement" true
+    ((Model.page_exn init_seg 7).Model.pframe = Some 7)
+
+let test_model_scripted () =
+  (* One handwritten scenario through both sides: create, migrate with
+     flags, bind, resolve through the chain, destroy, frame return. *)
+  let ops =
+    [
+      OCreate 4;
+      (* picks are now [0;1] — pick 1 -> seg 1 *)
+      OMigrate (0, 1, 0, 0, 2, 1, 0);
+      (* init[0..1] -> seg1[0..1], set dirty *)
+      OCreate 4;
+      (* seg 2 *)
+      OBind (2, 1, 2, 1, 0, false);
+      (* bind seg1[0..1] into seg2[1..2] *)
+      ODestroy 1;
+      (* destroy seg1: frames home, binding dangles *)
+    ]
+  in
+  Alcotest.(check bool) "scripted scenario agrees" true (run_sequence ops)
+
+let () =
+  Alcotest.run "model"
+    [
+      ("model sanity", [
+        Alcotest.test_case "boot state" `Quick test_model_boot;
+        Alcotest.test_case "scripted scenario" `Quick test_model_scripted;
+      ]);
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest [ prop_differential; prop_differential_deep ] );
+    ]

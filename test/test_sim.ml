@@ -440,6 +440,124 @@ let test_trace_capacity () =
   Alcotest.(check (list string)) "keeps newest" [ "3"; "4"; "5" ] (Trace.tags tr);
   check_int "dropped" 2 (Trace.dropped tr)
 
+let test_trace_disabled_emit_is_free () =
+  (* A disabled trace neither records nor counts drops, however many
+     emits hit it; flipping it on starts recording from that point. *)
+  let tr = Trace.create ~enabled:false ~capacity:2 () in
+  for i = 1 to 100 do
+    Trace.emit tr ~time:(float_of_int i) ~tag:"noise" ""
+  done;
+  check_int "nothing recorded" 0 (List.length (Trace.events tr));
+  check_int "nothing dropped" 0 (Trace.dropped tr);
+  Trace.set_enabled tr true;
+  Trace.emit tr ~time:200.0 ~tag:"signal" "";
+  Alcotest.(check (list string)) "records once enabled" [ "signal" ] (Trace.tags tr);
+  Trace.clear tr;
+  check_int "clear resets dropped" 0 (Trace.dropped tr);
+  check_int "clear empties" 0 (List.length (Trace.events tr))
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_basic () =
+  let c = Stats.Counters.create () in
+  check_int "never-incremented name reads 0" 0 (Stats.Counters.get c "ghost");
+  Stats.Counters.incr c "wal.flush_retries";
+  Stats.Counters.incr ~by:2 c "backing.read_retries";
+  Stats.Counters.incr c "wal.flush_retries";
+  check_int "accumulates" 2 (Stats.Counters.get c "wal.flush_retries");
+  Alcotest.(check (list (pair string int)))
+    "to_list is name-sorted"
+    [ ("backing.read_retries", 2); ("wal.flush_retries", 2) ]
+    (Stats.Counters.to_list c);
+  check_int "total" 4 (Stats.Counters.total c);
+  Stats.Counters.clear c;
+  check_int "clear" 0 (Stats.Counters.total c)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos plans                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let stormy_spec =
+  {
+    Sim_chaos.read_error_p = 0.2;
+    write_error_p = 0.15;
+    delay_p = 0.1;
+    delay_min_us = 50.0;
+    delay_max_us = 500.0;
+    outages = [ (400.0, 600.0) ];
+    bad_blocks = [ 13 ];
+  }
+
+let test_chaos_none_is_inert () =
+  let plan = Sim_chaos.none () in
+  Alcotest.(check bool) "disabled" false (Sim_chaos.enabled plan);
+  for i = 0 to 99 do
+    let v = Sim_chaos.decide plan Sim_chaos.Disk_read ~now:(float_of_int i) ~block:(Some 13) in
+    Alcotest.(check bool) "always Pass" true (Sim_chaos.Verdict.equal v Sim_chaos.Verdict.Pass)
+  done;
+  check_int "never records" 0 (Sim_chaos.decisions plan);
+  check_int "never fails" 0 (Sim_chaos.injected_failures plan)
+
+let test_chaos_outage_and_bad_block () =
+  let plan =
+    Sim_chaos.create ~seed:5L
+      { Sim_chaos.default_spec with outages = [ (100.0, 200.0) ]; bad_blocks = [ 7 ] }
+  in
+  let v t b = Sim_chaos.decide plan Sim_chaos.Disk_write ~now:t ~block:b in
+  Alcotest.(check string) "before the window" "pass"
+    (Sim_chaos.Verdict.to_string (v 99.0 None));
+  Alcotest.(check string) "inside the window" "fail"
+    (Sim_chaos.Verdict.to_string (v 150.0 None));
+  Alcotest.(check string) "window end is exclusive" "pass"
+    (Sim_chaos.Verdict.to_string (v 200.0 None));
+  Alcotest.(check string) "bad block is permanent, any time" "bad-block"
+    (Sim_chaos.Verdict.to_string (v 999.0 (Some 7)))
+
+let prop_chaos_same_seed_same_schedule =
+  QCheck.Test.make ~name:"chaos: same seed replays the identical schedule" ~count:100
+    QCheck.(pair (int_bound 10_000) (int_range 1 60))
+    (fun (seed, ops) ->
+      let drive () =
+        let plan = Sim_chaos.create ~seed:(Int64.of_int seed) stormy_spec in
+        for i = 0 to ops - 1 do
+          let site = if i mod 3 = 0 then Sim_chaos.Disk_write else Sim_chaos.Disk_read in
+          let block = if i mod 5 = 0 then Some i else None in
+          ignore (Sim_chaos.decide plan site ~now:(float_of_int (i * 100)) ~block)
+        done;
+        ( Sim_chaos.schedule_fingerprint plan,
+          Sim_chaos.decisions plan,
+          Sim_chaos.injected_failures plan,
+          Sim_chaos.injected_delays plan,
+          Sim_chaos.schedule plan )
+      in
+      drive () = drive ())
+
+let prop_chaos_sites_draw_independent_streams =
+  (* Adding write traffic must not perturb the verdicts the reads see:
+     each site draws from its own split stream. *)
+  QCheck.Test.make ~name:"chaos: read verdicts independent of write traffic" ~count:100
+    QCheck.(pair (int_bound 10_000) (list_of_size Gen.(int_range 0 20) (int_bound 3)))
+    (fun (seed, writes_between) ->
+      let reads_only =
+        let plan = Sim_chaos.create ~seed:(Int64.of_int seed) stormy_spec in
+        List.init 10 (fun i ->
+            Sim_chaos.decide plan Sim_chaos.Disk_read ~now:(float_of_int i) ~block:None)
+      in
+      let interleaved =
+        let plan = Sim_chaos.create ~seed:(Int64.of_int seed) stormy_spec in
+        List.init 10 (fun i ->
+            List.iter
+              (fun w ->
+                if w > 0 then
+                  ignore
+                    (Sim_chaos.decide plan Sim_chaos.Disk_write ~now:(float_of_int i) ~block:None))
+              writes_between;
+            Sim_chaos.decide plan Sim_chaos.Disk_read ~now:(float_of_int i) ~block:None)
+      in
+      List.for_all2 Sim_chaos.Verdict.equal reads_only interleaved)
+
 (* ------------------------------------------------------------------ *)
 (* Properties over the engine                                         *)
 (* ------------------------------------------------------------------ *)
@@ -481,7 +599,13 @@ let prop_resource_never_exceeds_capacity =
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_heap_sorts; prop_engine_deterministic; prop_resource_never_exceeds_capacity ]
+    [
+      prop_heap_sorts;
+      prop_engine_deterministic;
+      prop_resource_never_exceeds_capacity;
+      prop_chaos_same_seed_same_schedule;
+      prop_chaos_sites_draw_independent_streams;
+    ]
 
 let () =
   Alcotest.run "sim"
@@ -542,6 +666,13 @@ let () =
           Alcotest.test_case "order and tags" `Quick test_trace_order_and_tags;
           Alcotest.test_case "disabled" `Quick test_trace_disabled;
           Alcotest.test_case "capacity" `Quick test_trace_capacity;
+          Alcotest.test_case "disabled emit is free" `Quick test_trace_disabled_emit_is_free;
+        ] );
+      ("counters", [ Alcotest.test_case "basic accounting" `Quick test_counters_basic ]);
+      ( "chaos",
+        [
+          Alcotest.test_case "none is inert" `Quick test_chaos_none_is_inert;
+          Alcotest.test_case "outages and bad blocks" `Quick test_chaos_outage_and_bad_block;
         ] );
       ("properties", qcheck_cases);
     ]

@@ -72,6 +72,20 @@ let test_vpp_deterministic () =
   check_bool "same elapsed" true (a.Wl_run.v_elapsed_s = b.Wl_run.v_elapsed_s);
   check_int "same calls" a.Wl_run.v_manager_calls b.Wl_run.v_manager_calls
 
+(* Table 3 pin: the paper's counts for all three applications, asserted
+   together as the single invariant they are. The Tables 2-3 runs use a
+   memory backing store and never attach a chaos plan to any device —
+   fault injection is strictly per-device opt-in — so these counts are
+   structurally immune to the injection subsystem. This test is the
+   tripwire should that ever change. *)
+let test_table3_counts_pinned () =
+  List.iter
+    (fun (trace, calls, migrates) ->
+      let r = Wl_run.run_vpp trace in
+      check_int (trace.T.name ^ ": Table 3 manager calls") calls r.Wl_run.v_manager_calls;
+      check_int (trace.T.name ^ ": Table 3 migrate calls") migrates r.Wl_run.v_migrate_calls)
+    [ (Wl_apps.diff, 379, 372); (Wl_apps.uncompress, 197, 195); (Wl_apps.latex, 250, 238) ]
+
 (* ------------------------------------------------------------------ *)
 (* Ultrix runs                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -117,6 +131,7 @@ let () =
           Alcotest.test_case "latex Table 3" `Quick test_vpp_latex_matches_table3;
           Alcotest.test_case "4KB I/O units" `Quick test_vpp_reads_are_4kb_units;
           Alcotest.test_case "deterministic" `Quick test_vpp_deterministic;
+          Alcotest.test_case "Table 3 counts pinned" `Quick test_table3_counts_pinned;
         ] );
       ( "ultrix",
         [
