@@ -46,7 +46,18 @@ let reproduce () =
   line ();
   print_endline "Fault injection: seeded chaos storms on the disk paths";
   line ();
-  print_string (Exp_chaos.render (Exp_chaos.run ()))
+  print_string (Exp_chaos.render (Exp_chaos.run ()));
+  print_newline ();
+  line ();
+  print_endline "Observability: Table 1 cost attribution and latency histograms";
+  line ();
+  let profile = Exp_profile.run () in
+  print_string (Exp_profile.render profile);
+  let record = Exp_profile.render_json profile in
+  let oc = open_out "BENCH_observability.json" in
+  output_string oc record;
+  close_out oc;
+  print_endline "(machine-readable record written to BENCH_observability.json)"
 
 (* One Test.make per table/figure. Table 4 runs in its quick (60 s
    simulated) configuration here so a Bechamel sample stays subsecond. *)

@@ -14,6 +14,10 @@ let run_stats () = print_string (Exp_substrate.render (Exp_substrate.run ()))
 
 let run_chaos seed () = print_string (Exp_chaos.render (Exp_chaos.run ?seed ()))
 
+let run_profile json () =
+  let r = Exp_profile.run () in
+  if json then print_string (Exp_profile.render_json r) else print_string (Exp_profile.render r)
+
 let run_ablations () =
   List.iter
     (fun a ->
@@ -34,6 +38,12 @@ let run_all quick () =
 
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Shorten the Table 4 simulation (60s instead of 300s).")
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit the versioned machine-readable record instead of the text rendering.")
 
 let seed_opt =
   Arg.(
@@ -59,6 +69,9 @@ let () =
         Term.(const run_stats $ const ());
       cmd "chaos" "Seeded fault-injection storms on the disk/manager paths (not a paper table)"
         Term.(const run_chaos $ seed_opt $ const ());
+      cmd "profile"
+        "Cost attribution for the Table 1 paths plus latency histograms (not a paper table)"
+        Term.(const run_profile $ json_flag $ const ());
       cmd "all" "Every table and figure" Term.(const run_all $ quick_flag $ const ());
     ]
   in

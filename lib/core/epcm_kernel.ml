@@ -104,7 +104,7 @@ let fresh_stats () =
     touches = 0;
   }
 
-let charge t us = Machine.charge t.machine us
+let charge ?label t us = Machine.charge ?label t.machine us
 let cost t = t.machine.Machine.cost
 
 let create machine =
@@ -174,7 +174,7 @@ let manager t mid =
 let set_segment_manager t sid mid =
   let seg = segment t sid in
   ignore (manager t mid);
-  charge t (cost t).Hw_cost.set_manager;
+  charge ~label:"kernel/set_manager" t (cost t).Hw_cost.set_manager;
   seg.Seg.manager <- Some mid
 
 (* ------------------------------------------------------------------ *)
@@ -189,7 +189,7 @@ let create_segment t ?page_size ?manager:mgr ~name ~pages () =
   let seg = Seg.make ~sid ~name ~page_size ~pages in
   seg.Seg.manager <- mgr;
   Hashtbl.replace t.segments sid seg;
-  charge t (cost t).Hw_cost.syscall_base;
+  charge ~label:"kernel/segment_ctl" t (cost t).Hw_cost.syscall_base;
   sid
 
 let grow_segment t sid ~pages =
@@ -201,7 +201,7 @@ let grow_segment t sid ~pages =
       (Array.length old + pages)
       (fun i ->
         if i < Array.length old then old.(i) else { Seg.frame = None; flags = Flags.empty });
-  charge t (cost t).Hw_cost.syscall_base
+  charge ~label:"kernel/segment_ctl" t (cost t).Hw_cost.syscall_base
 
 (* ------------------------------------------------------------------ *)
 (* Translation-cache bookkeeping                                      *)
@@ -241,7 +241,7 @@ let bind_region t ~space ~at ~len ~target ~target_page ~cow =
     fail (Page_size_mismatch { src = space; dst = target });
   if Seg.bindings_overlap sp ~at ~len then fail (Binding_overlap { seg = space; at; len });
   sp.Seg.bindings <- { Seg.at; len; target; target_page; cow } :: sp.Seg.bindings;
-  charge t (cost t).Hw_cost.bind_region
+  charge ~label:"kernel/bind_region" t (cost t).Hw_cost.bind_region
 
 (* Follow bindings to the slot that holds (or should hold) the frame for a
    reference to [page] of [space]. Returns the owning segment, the page
@@ -296,7 +296,7 @@ let migrate_pages t ~src ~dst ~src_page ~dst_page ~count ?(set_flags = Flags.emp
   check_range src_seg src_page count;
   check_range dst_seg dst_page count;
   let c = cost t in
-  charge t
+  charge ~label:"kernel/migrate" t
     (c.Hw_cost.syscall_base +. c.Hw_cost.migrate_base
     +. (float_of_int count *. c.Hw_cost.migrate_per_page));
   for i = 0 to count - 1 do
@@ -313,7 +313,7 @@ let modify_page_flags t ~seg ~page ~count ?(set_flags = Flags.empty)
   let s = segment t seg in
   check_range s page count;
   let c = cost t in
-  charge t
+  charge ~label:"kernel/modify_flags" t
     (c.Hw_cost.syscall_base +. c.Hw_cost.modify_flags_base
     +. (float_of_int count *. c.Hw_cost.modify_flags_per_page));
   let protection = Flags.union Flags.no_access Flags.read_only in
@@ -323,7 +323,7 @@ let modify_page_flags t ~seg ~page ~count ?(set_flags = Flags.empty)
     slot.Seg.flags <- Flags.diff (Flags.union before set_flags) clear_flags;
     if Flags.intersects (Flags.union set_flags clear_flags) protection then begin
       invalidate_slot t ~seg ~page:(page + i);
-      charge t c.Hw_cost.tlb_flush_page
+      charge ~label:"kernel/tlb_flush" t c.Hw_cost.tlb_flush_page
     end
   done;
   t.stats.modify_flag_calls <- t.stats.modify_flag_calls + 1
@@ -332,7 +332,7 @@ let get_page_attributes t ~seg ~page ~count =
   let s = segment t seg in
   check_range s page count;
   let c = cost t in
-  charge t
+  charge ~label:"kernel/get_attributes" t
     (c.Hw_cost.syscall_base +. c.Hw_cost.get_attributes_base
     +. (float_of_int count *. c.Hw_cost.get_attributes_per_page));
   t.stats.get_attribute_calls <- t.stats.get_attribute_calls + 1;
@@ -367,7 +367,7 @@ let release_frames t ~seg ~page ~count =
   let s = segment t seg in
   check_range s page count;
   let c = cost t in
-  charge t
+  charge ~label:"kernel/release_frames" t
     (c.Hw_cost.syscall_base +. c.Hw_cost.migrate_base
     +. (float_of_int count *. c.Hw_cost.migrate_per_page));
   let moved = ref 0 in
@@ -389,7 +389,8 @@ let zero_pages t ~seg ~page ~count =
   let s = segment t seg in
   check_range s page count;
   let c = cost t in
-  charge t (c.Hw_cost.syscall_base +. (float_of_int count *. c.Hw_cost.zero_page));
+  charge ~label:"kernel/zero_pages" t
+    (c.Hw_cost.syscall_base +. (float_of_int count *. c.Hw_cost.zero_page));
   for i = 0 to count - 1 do
     let slot = Seg.page s (page + i) in
     match slot.Seg.frame with
@@ -424,7 +425,7 @@ let destroy_segment t sid =
   s.Seg.alive <- false;
   Tlb.invalidate_space t.machine.Machine.tlb ~space:sid;
   Pt.remove_space t.machine.Machine.page_table ~space:sid;
-  charge t (cost t).Hw_cost.syscall_base
+  charge ~label:"kernel/segment_ctl" t (cost t).Hw_cost.syscall_base
 
 (* ------------------------------------------------------------------ *)
 (* Fault delivery (Figure 2)                                          *)
@@ -443,25 +444,33 @@ let deliver_fault t (fault : Mgr.fault) =
   if t.fault_depth >= t.max_fault_depth then
     fail (Fault_recursion { manager = mid; depth = t.fault_depth });
   t.fault_depth <- t.fault_depth + 1;
+  let span =
+    match fault.Mgr.f_kind with
+    | Mgr.Missing -> "fault/missing"
+    | Mgr.Protection -> "fault/protection"
+    | Mgr.Cow_write -> "fault/cow"
+  in
   Fun.protect
     ~finally:(fun () -> t.fault_depth <- t.fault_depth - 1)
     (fun () ->
+      Machine.with_span t.machine span @@ fun () ->
       count_fault t fault.Mgr.f_kind;
       t.stats.manager_calls <- t.stats.manager_calls + 1;
       Hashtbl.replace t.per_manager_calls mid (manager_calls_of t mid + 1);
       let c = cost t in
-      charge t (c.Hw_cost.trap_entry +. c.Hw_cost.fault_decode);
+      charge ~label:"kernel/trap" t (c.Hw_cost.trap_entry +. c.Hw_cost.fault_decode);
       Machine.trace_emit t.machine ~tag:"step1.fault_to_manager"
         (Printf.sprintf "%s -> manager %S" (Format.asprintf "%a" Mgr.pp_fault fault) m.Mgr.mname);
       (match m.Mgr.mmode with
       | `In_process ->
-          charge t c.Hw_cost.upcall_deliver;
+          charge ~label:"kernel/upcall" t c.Hw_cost.upcall_deliver;
           m.Mgr.on_fault fault;
-          charge t c.Hw_cost.resume_direct
+          charge ~label:"kernel/resume" t c.Hw_cost.resume_direct
       | `Separate_process ->
-          charge t (c.Hw_cost.ipc_send +. c.Hw_cost.context_switch +. c.Hw_cost.manager_server_dispatch);
+          charge ~label:"kernel/ipc_call" t
+            (c.Hw_cost.ipc_send +. c.Hw_cost.context_switch +. c.Hw_cost.manager_server_dispatch);
           m.Mgr.on_fault fault;
-          charge t
+          charge ~label:"kernel/ipc_return" t
             (c.Hw_cost.ipc_reply +. c.Hw_cost.context_switch +. c.Hw_cost.resume_via_kernel
            +. c.Hw_cost.trap_exit));
       Machine.trace_emit t.machine ~tag:"step5.resume"
@@ -507,7 +516,7 @@ let rec ensure_resident t ~space ~page ~(access : Mgr.access) ~attempts =
         | Some private_frame ->
             Phys.copy_frame t.machine.Machine.mem ~src:frame_idx ~dst:private_frame;
             t.stats.page_copies <- t.stats.page_copies + 1;
-            charge t (cost t).Hw_cost.copy_page;
+            charge ~label:"kernel/copy_page" t (cost t).Hw_cost.copy_page;
             sp_slot.Seg.flags <- Flags.union sp_slot.Seg.flags Flags.dirty);
         ensure_resident t ~space ~page ~access ~attempts:(attempts + 1)
       end
@@ -550,17 +559,19 @@ let touch t ~space ~page ~access =
       (match Tlb.lookup tlb ~space ~vpn:page with
       | Some _ -> ()
       | None ->
-          charge t c.Hw_cost.tlb_refill;
+          charge ~label:"kernel/tlb_refill" t c.Hw_cost.tlb_refill;
           Tlb.fill tlb ~space ~vpn:page ~frame)
   | Some _ | None ->
       (* Mapping-hash miss (or insufficient protection): walk segments. *)
-      charge t c.Hw_cost.segment_walk;
+      let t0 = Machine.now t.machine in
+      charge ~label:"kernel/segment_walk" t c.Hw_cost.segment_walk;
       let frame, oseg_id, opage, flags, via_cow = ensure_resident t ~space ~page ~access ~attempts:0 in
       let prot = resolved_prot ~flags ~via_cow in
       Pt.insert pt ~space ~vpn:page ~frame ~prot;
       Tlb.fill tlb ~space ~vpn:page ~frame;
       record_cached_key t ~slot:(oseg_id, opage) ~key:(space, page);
-      charge t c.Hw_cost.pte_update
+      charge ~label:"kernel/pte_update" t c.Hw_cost.pte_update;
+      Machine.observe t.machine ~kind:"kernel.fault" (Machine.now t.machine -. t0)
 
 (* ------------------------------------------------------------------ *)
 (* UIO block interface                                                *)
@@ -585,9 +596,9 @@ let uio_ensure t ~seg ~page ~(access : Mgr.access) =
 
 let uio_read t ~seg ~page =
   let c = cost t in
-  charge t (c.Hw_cost.syscall_base +. c.Hw_cost.uio_read_overhead);
+  charge ~label:"kernel/uio_read" t (c.Hw_cost.syscall_base +. c.Hw_cost.uio_read_overhead);
   uio_ensure t ~seg ~page ~access:Mgr.Read;
-  charge t c.Hw_cost.copy_page;
+  charge ~label:"kernel/copy_page" t c.Hw_cost.copy_page;
   t.stats.uio_reads <- t.stats.uio_reads + 1;
   t.stats.page_copies <- t.stats.page_copies + 1;
   let frame, slot = uio_page_data t seg page in
@@ -596,9 +607,9 @@ let uio_read t ~seg ~page =
 
 let uio_write t ~seg ~page data =
   let c = cost t in
-  charge t (c.Hw_cost.syscall_base +. c.Hw_cost.uio_write_overhead);
+  charge ~label:"kernel/uio_write" t (c.Hw_cost.syscall_base +. c.Hw_cost.uio_write_overhead);
   uio_ensure t ~seg ~page ~access:Mgr.Write;
-  charge t c.Hw_cost.copy_page;
+  charge ~label:"kernel/copy_page" t c.Hw_cost.copy_page;
   t.stats.uio_writes <- t.stats.uio_writes + 1;
   t.stats.page_copies <- t.stats.page_copies + 1;
   let frame, slot = uio_page_data t seg page in

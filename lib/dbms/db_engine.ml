@@ -253,7 +253,7 @@ let run cfg =
       loop ());
   Engine.run engine;
   let n_frames = Hw_machine.n_frames w.machine in
-  let audited = List.fold_left (fun acc (_, n) -> acc + n) 0 (K.frame_owner_audit w.kernel) in
+  let audited = K.frame_owner_total w.kernel in
   let series_avg s = if Sim_stats.Series.count s = 0 then 0.0 else Sim_stats.Series.mean s in
   {
     label = cfg.Cfg.label;

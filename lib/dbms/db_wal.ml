@@ -43,8 +43,25 @@ let append t =
 let note_page_write t ~seg ~page ~lsn = Hashtbl.replace t.page_lsns (seg, page) lsn
 let page_lsn t ~seg ~page = Hashtbl.find_opt t.page_lsns (seg, page)
 
+(* Flush latency (group commit: transfer plus any retry backoffs) lands in
+   the disk's metrics sink under kind "wal.flush". *)
+let observing t =
+  match Hw_disk.metrics t.disk with
+  | Some m when Sim_metrics.enabled m -> (
+      match Sim_engine.time () with
+      | t0 -> Some (m, t0)
+      | exception Sim_engine.Not_in_process -> None)
+  | _ -> None
+
 let flush_to t ~lsn =
   if lsn > t.flushed then begin
+    let obs = observing t in
+    Fun.protect
+      ~finally:(fun () ->
+        match obs with
+        | None -> ()
+        | Some (m, t0) -> Sim_metrics.observe m ~kind:"wal.flush" (Sim_engine.time () -. t0))
+    @@ fun () ->
     let target = min lsn t.next_lsn in
     let pending = target - t.flushed in
     (* Group commit: every pending record rides one transfer. [flushed]

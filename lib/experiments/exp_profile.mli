@@ -1,0 +1,38 @@
+(** Observability profile: re-runs each Table 1 path with the metrics sink
+    enabled and decomposes the pinned row totals into their span-attributed
+    charges, then drives a deterministic demand-paging + WAL workload to
+    populate latency histograms per operation kind. Emits a versioned,
+    schema-stable JSON record ([BENCH_observability.json] /
+    [vpp_repro profile --json]). *)
+
+val schema_version : string
+(** ["vpp-profile/1"]. Bump when the record layout changes. *)
+
+type row = {
+  p_label : string;  (** The identity's name in [Hw_cost] ([vpp_read_4kb], ...). *)
+  p_pinned_us : float;  (** The documented Table 1 value. *)
+  p_measured_us : float;  (** Simulated wall time of the operation. *)
+  p_spans : (string * int * float) list;
+      (** Span-attributed decomposition: (path, charge count, total us),
+          sorted by path. Sums to [p_pinned_us]. *)
+}
+
+type result = {
+  rows : row list;  (** The eight Table 1 identities, in table order. *)
+  latency : (string * Sim_metrics.Hist.t) list;  (** Histograms by kind. *)
+  checks : Exp_report.check list;
+}
+
+val run : unit -> result
+
+val render : result -> string
+(** Human-readable profile: per-row decompositions plus a quantile table. *)
+
+val to_json : result -> Sim_json.t
+val render_json : result -> string
+(** [to_json] printed stably (two-space indent, trailing newline). *)
+
+val validate_json : Sim_json.t -> (unit, string) Stdlib.result
+(** Structural schema check used by the bench-smoke test: version string,
+    eight rows whose spans sum to their pinned totals, ordered quantiles,
+    and all embedded shape checks passing. *)

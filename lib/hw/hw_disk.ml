@@ -17,6 +17,7 @@ type t = {
   params : params;
   arm : Resource.t;
   mutable chaos : Sim_chaos.t option;
+  mutable metrics : Sim_metrics.t option;
   mutable reads : int;
   mutable writes : int;
   mutable bytes_read : int;
@@ -31,6 +32,7 @@ let create engine ?(params = default_params) () =
     params;
     arm = Resource.create engine ~capacity:1;
     chaos = None;
+    metrics = None;
     reads = 0;
     writes = 0;
     bytes_read = 0;
@@ -42,6 +44,8 @@ let create engine ?(params = default_params) () =
 
 let set_chaos t plan = t.chaos <- plan
 let chaos t = t.chaos
+let set_metrics t m = t.metrics <- m
+let metrics t = t.metrics
 
 let access_time_us t ~bytes =
   t.params.seek_us +. t.params.half_rotation_us
@@ -50,7 +54,27 @@ let access_time_us t ~bytes =
 (* The error, if any, surfaces after the arm has done the work: a failed
    transfer costs full service time (plus any injected burst), exactly the
    retry-storm convoy a real disk produces. *)
+(* Latency observation covers queueing on the arm plus service plus any
+   injected burst, including transfers that end in an injected error (they
+   cost real time too). Only measurable inside a simulation process. *)
+let observing t =
+  match t.metrics with
+  | Some m when Sim_metrics.enabled m -> (
+      match Engine.time () with
+      | t0 -> Some (m, t0)
+      | exception Engine.Not_in_process -> None)
+  | _ -> None
+
 let transfer t ~(op : op) ~block ~bytes =
+  let obs = observing t in
+  Fun.protect
+    ~finally:(fun () ->
+      match obs with
+      | None -> ()
+      | Some (m, t0) ->
+          let kind = match op with `Read -> "disk.read" | `Write -> "disk.write" in
+          Sim_metrics.observe m ~kind (Engine.time () -. t0))
+  @@ fun () ->
   Resource.use t.arm (fun () ->
       Engine.delay (access_time_us t ~bytes);
       match t.chaos with

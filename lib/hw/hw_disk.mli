@@ -39,6 +39,17 @@ val set_chaos : t -> Sim_chaos.t option -> unit
 
 val chaos : t -> Sim_chaos.t option
 
+val set_metrics : t -> Sim_metrics.t option -> unit
+(** Attach a metrics sink; when the sink is enabled, every transfer made
+    inside a simulation process records its end-to-end latency (queueing +
+    service + injected bursts, even on injected failure) under kind
+    ["disk.read"] / ["disk.write"]. With no sink, or a disabled one, the
+    transfer path does no extra work. *)
+
+val metrics : t -> Sim_metrics.t option
+(** The attached sink, if any — layers built over the disk (backing
+    stores, the WAL) observe their own end-to-end latencies into it. *)
+
 val access_time_us : t -> bytes:int -> float
 (** Raw service time for one transfer, without queueing. *)
 

@@ -11,6 +11,7 @@ type t = {
   disk : Hw_disk.t;
   cost : Hw_cost.t;
   trace : Trace.t;
+  metrics : Sim_metrics.t;
 }
 
 let create ?(preset = Decstation_5000_200) ?(memory_bytes = 16 * 1024 * 1024)
@@ -21,21 +22,32 @@ let create ?(preset = Decstation_5000_200) ?(memory_bytes = 16 * 1024 * 1024)
     | Decstation_5000_200 -> Hw_cost.decstation_5000_200
     | Sgi_4d_380 -> Hw_cost.sgi_4d_380
   in
+  let metrics = Sim_metrics.create () in
+  let disk = Hw_disk.create engine ?params:disk_params () in
+  Hw_disk.set_metrics disk (Some metrics);
   {
     engine;
     mem = Hw_phys_mem.create ~n_colors ~page_size ~total_bytes:memory_bytes ();
     page_table = Hw_page_table.create ();
     tlb = Hw_tlb.create ();
-    disk = Hw_disk.create engine ?params:disk_params ();
+    disk;
     cost;
     trace = Trace.create ~enabled:trace ();
+    metrics;
   }
 
 let page_size t = Hw_phys_mem.page_size t.mem
 let n_frames t = Hw_phys_mem.n_frames t.mem
-let charge (_ : t) us =
+let charge ?label t us =
   (* Outside a simulation process (plain unit tests) state transitions
      still happen; time simply does not advance. *)
-  if us > 0.0 then try Engine.delay us with Engine.Not_in_process -> ()
+  if us > 0.0 then begin
+    (try Engine.delay us with Engine.Not_in_process -> ());
+    if Sim_metrics.enabled t.metrics then Sim_metrics.record_charge t.metrics ?label us
+  end
+let with_span t name f = Sim_metrics.with_span t.metrics name f
+let observe t ~kind us = Sim_metrics.observe t.metrics ~kind us
+let metrics t = t.metrics
+let set_profiling t on = Sim_metrics.set_enabled t.metrics on
 let now t = Engine.now t.engine
 let trace_emit t ~tag detail = Trace.emit t.trace ~time:(Engine.now t.engine) ~tag detail

@@ -11,6 +11,7 @@ type t = {
   disk : Hw_disk.t;
   cost : Hw_cost.t;
   trace : Sim_trace.t;
+  metrics : Sim_metrics.t;
 }
 
 val create :
@@ -29,10 +30,28 @@ val create :
 
 val page_size : t -> int
 val n_frames : t -> int
-val charge : t -> float -> unit
+val charge : ?label:string -> t -> float -> unit
 (** Advance the calling process by a cost-model amount (clamped at 0).
     Outside a simulation process this is a no-op, so semantics-only unit
-    tests can drive the kernels without an engine. *)
+    tests can drive the kernels without an engine. When profiling is on
+    (see {!set_profiling}) the amount is also attributed to [label] under
+    the open {!with_span} path; without profiling the label costs
+    nothing. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** Open a cost-attribution span around a thunk (see
+    {!Sim_metrics.with_span}); identity when profiling is off. *)
+
+val observe : t -> kind:string -> float -> unit
+(** Feed a latency sample into the machine's metrics sink; no-op when
+    profiling is off. *)
+
+val metrics : t -> Sim_metrics.t
+(** The machine's metrics sink (shared with its disk). *)
+
+val set_profiling : t -> bool -> unit
+(** Toggle the metrics sink. Off (the default) preserves byte-identical
+    behaviour of all instrumented paths. *)
 
 val now : t -> float
 val trace_emit : t -> tag:string -> string -> unit

@@ -64,7 +64,7 @@ let ensure_pool t n =
 
 let on_fault t (fault : Mgr.fault) =
   let machine = K.machine t.kern in
-  Hw_machine.charge machine machine.Hw_machine.cost.Hw_cost.manager_fault_logic;
+  Hw_machine.charge ~label:"mgr/fault_logic" machine machine.Hw_machine.cost.Hw_cost.manager_fault_logic;
   match fault.Mgr.f_kind with
   | Mgr.Missing ->
       ensure_pool t 1;
@@ -85,7 +85,8 @@ let on_fault t (fault : Mgr.fault) =
               Hashtbl.replace st.images (gen, fault.Mgr.f_page) data;
               t.preserved <- t.preserved + 1;
               (* The preserving copy costs one page copy. *)
-              Hw_machine.charge machine machine.Hw_machine.cost.Hw_cost.copy_page
+              Hw_machine.charge ~label:"mgr/copy_page" machine
+                machine.Hw_machine.cost.Hw_cost.copy_page
           | None -> ());
           Hashtbl.remove st.protected_pages fault.Mgr.f_page;
           K.modify_page_flags t.kern ~seg:fault.Mgr.f_seg ~page:fault.Mgr.f_page ~count:1

@@ -31,7 +31,7 @@ type t = {
 }
 
 let manager_id t = t.mid
-let charge t us = Hw_machine.charge (K.machine t.kern) us
+let charge ?label t us = Hw_machine.charge ?label (K.machine t.kern) us
 
 let pool_page_equivalents t =
   float_of_int (Hashtbl.length t.store) *. t.cfg.compression_ratio
@@ -71,7 +71,7 @@ let enforce_budget t =
 
 let on_fault t (fault : Mgr.fault) =
   let machine = K.machine t.kern in
-  Hw_machine.charge machine machine.Hw_machine.cost.Hw_cost.manager_fault_logic;
+  Hw_machine.charge ~label:"mgr/fault_logic" machine machine.Hw_machine.cost.Hw_cost.manager_fault_logic;
   match fault.Mgr.f_kind with
   | Mgr.Missing | Mgr.Cow_write ->
       let key = (fault.Mgr.f_seg, fault.Mgr.f_page) in
@@ -80,7 +80,7 @@ let on_fault t (fault : Mgr.fault) =
       | Some e ->
           (* Decompression beats the disk by two orders of magnitude. *)
           t.decompressions <- t.decompressions + 1;
-          charge t t.cfg.decompress_us;
+          charge ~label:"mgr/decompress" t t.cfg.decompress_us;
           Hashtbl.remove t.store key;
           Mgr_free_pages.set_next_data t.pool e.e_data
       | None ->
@@ -138,7 +138,7 @@ let evict t ~seg ~page =
       let data = (Hw_phys_mem.frame (K.machine t.kern).Hw_machine.mem frame).Hw_phys_mem.data in
       t.compressions <- t.compressions + 1;
       t.seq <- t.seq + 1;
-      charge t t.cfg.compress_us;
+      charge ~label:"mgr/compress" t t.cfg.compress_us;
       Hashtbl.replace t.store (seg, page) { e_data = data; e_seq = t.seq };
       (if Mgr_free_pages.room t.pool = 0 then
          ignore (Mgr_free_pages.release_to_initial t.pool ~count:16));

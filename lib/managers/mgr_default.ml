@@ -72,7 +72,7 @@ let file_segment t ~file_id = Hashtbl.find_opt t.files file_id
 let charge_rpc t =
   let machine = K.machine (G.kernel t.gen) in
   let c = machine.Hw_machine.cost in
-  Hw_machine.charge machine
+  Hw_machine.charge ~label:"mgr/rpc" machine
     (c.Hw_cost.ipc_send +. c.Hw_cost.context_switch +. c.Hw_cost.manager_server_dispatch
    +. c.Hw_cost.ipc_reply +. c.Hw_cost.context_switch)
 

@@ -33,10 +33,12 @@ let holders t ~page =
     (List.init t.n_nodes Fun.id)
 
 let charge_net t messages =
-  Hw_machine.charge (K.machine t.kern) (float_of_int messages *. t.net_latency_us)
+  Hw_machine.charge ~label:"dsm/net" (K.machine t.kern)
+    (float_of_int messages *. t.net_latency_us)
 
 let charge_copy t =
-  Hw_machine.charge (K.machine t.kern) (K.machine t.kern).Hw_machine.cost.Hw_cost.copy_page
+  Hw_machine.charge ~label:"dsm/copy_page" (K.machine t.kern)
+    (K.machine t.kern).Hw_machine.cost.Hw_cost.copy_page
 
 let ensure_pool t n =
   if Mgr_free_pages.available t.pool < n then begin
@@ -139,7 +141,7 @@ let acquire_exclusive t ~node ~page =
 
 let on_fault t (fault : Mgr.fault) =
   let machine = K.machine t.kern in
-  Hw_machine.charge machine machine.Hw_machine.cost.Hw_cost.manager_fault_logic;
+  Hw_machine.charge ~label:"mgr/fault_logic" machine machine.Hw_machine.cost.Hw_cost.manager_fault_logic;
   match Hashtbl.find_opt t.seg_to_node fault.Mgr.f_seg with
   | None -> ()
   | Some node -> (

@@ -32,7 +32,7 @@ let ensure_pool t n =
 
 let on_fault t (fault : Mgr.fault) =
   let machine = K.machine t.kern in
-  Hw_machine.charge machine machine.Hw_machine.cost.Hw_cost.manager_fault_logic;
+  Hw_machine.charge ~label:"mgr/fault_logic" machine machine.Hw_machine.cost.Hw_cost.manager_fault_logic;
   match fault.Mgr.f_kind with
   | Mgr.Missing | Mgr.Cow_write ->
       let key = (fault.Mgr.f_seg, fault.Mgr.f_page) in

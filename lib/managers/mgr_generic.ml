@@ -105,7 +105,8 @@ let info t seg =
   | None -> raise (Out_of_frames (Printf.sprintf "%s: fault on unmanaged segment %d" t.name seg))
 
 let charge_logic t =
-  Hw_machine.charge (K.machine t.kern) (K.machine t.kern).Hw_machine.cost.Hw_cost.manager_fault_logic
+  Hw_machine.charge ~label:"mgr/fault_logic" (K.machine t.kern)
+    (K.machine t.kern).Hw_machine.cost.Hw_cost.manager_fault_logic
 
 (* ------------------------------------------------------------------ *)
 (* Pool refill and reclamation                                        *)
@@ -267,7 +268,8 @@ let handle_missing t (fault : Mgr.fault) =
         Hw_machine.trace_emit machine ~tag:"step3.data_reply"
           (Printf.sprintf "seg %d page %d" fault.Mgr.f_seg fault.Mgr.f_page);
         (* Copying the arrived data into the allocated frame. *)
-        Hw_machine.charge machine machine.Hw_machine.cost.Hw_cost.copy_page
+        Hw_machine.charge ~label:"mgr/copy_page" machine
+          machine.Hw_machine.cost.Hw_cost.copy_page
     | None ->
         Hw_machine.trace_emit machine ~tag:"step2-3.local_fill"
           (Printf.sprintf "seg %d page %d" fault.Mgr.f_seg fault.Mgr.f_page)

@@ -1,0 +1,33 @@
+(** A minimal JSON tree with a stable printer and a strict parser, so bench
+    records can be emitted (and round-trip-validated in tests) without any
+    external dependency.
+
+    Stability contract: {!to_string} prints object fields in the order they
+    appear in the [Obj] list and numbers through a fixed format (integers
+    without a fractional part, everything else via ["%.6g"]), so two records
+    built from the same data are byte-identical. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Serialise. [indent] pretty-prints with two-space indentation (still
+    deterministic); the default is compact. *)
+
+val parse : string -> (t, string) result
+(** Strict parser for the subset this module prints (all of JSON except
+    non-ASCII [\u] escapes, which decode to ['?']). Rejects trailing
+    garbage. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the value bound to [k], if any. [None] on
+    non-objects. *)
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,229 @@
+(* Deterministic observability: hierarchical cost-attribution spans over
+   Hw_machine.charge, and log-bucketed latency histograms keyed by
+   operation kind. Disabled by default; when disabled every entry point is
+   a cheap no-op so instrumented code behaves byte-identically. *)
+
+module Hist = struct
+  (* Log-bucketed: four buckets per octave (~19% relative resolution),
+     which spans sub-microsecond TLB refills to multi-second disk convoys
+     in a few hundred sparse buckets. Values <= 0 land in a dedicated
+     bucket reported as the observed minimum. *)
+
+  let buckets_per_octave = 4.0
+
+  type t = {
+    table : (int, int) Hashtbl.t;
+    mutable zero_count : int;
+    mutable count : int;
+    mutable total : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let create () =
+    {
+      table = Hashtbl.create 32;
+      zero_count = 0;
+      count = 0;
+      total = 0.0;
+      min_v = infinity;
+      max_v = neg_infinity;
+    }
+
+  let bucket_of v = int_of_float (Float.floor (Float.log2 v *. buckets_per_octave))
+  let bucket_upper_bound i = Float.exp2 (float_of_int (i + 1) /. buckets_per_octave)
+
+  let add t v =
+    t.count <- t.count + 1;
+    t.total <- t.total +. v;
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v;
+    if v <= 0.0 then t.zero_count <- t.zero_count + 1
+    else begin
+      let i = bucket_of v in
+      Hashtbl.replace t.table i ((try Hashtbl.find t.table i with Not_found -> 0) + 1)
+    end
+
+  let count t = t.count
+  let total t = t.total
+  let min_value t = if t.count = 0 then 0.0 else t.min_v
+  let max_value t = if t.count = 0 then 0.0 else t.max_v
+
+  let buckets t =
+    Hashtbl.fold (fun i c acc -> (i, c) :: acc) t.table []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let merge a b =
+    let t = create () in
+    t.zero_count <- a.zero_count + b.zero_count;
+    t.count <- a.count + b.count;
+    t.total <- a.total +. b.total;
+    t.min_v <- Float.min a.min_v b.min_v;
+    t.max_v <- Float.max a.max_v b.max_v;
+    let fold src =
+      Hashtbl.iter
+        (fun i c ->
+          Hashtbl.replace t.table i ((try Hashtbl.find t.table i with Not_found -> 0) + c))
+        src.table
+    in
+    fold a;
+    fold b;
+    t
+
+  (* Nearest-rank over the sorted buckets; a bucket answers with its upper
+     bound clamped into the observed [min, max], so quantiles never invent
+     values outside the recorded range and remain monotone in [p]. *)
+  let quantile t p =
+    if t.count = 0 then 0.0
+    else begin
+      let rank =
+        let r = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
+        Stdlib.max 1 (Stdlib.min t.count r)
+      in
+      if rank <= t.zero_count then t.min_v
+      else begin
+        let remaining = ref (rank - t.zero_count) in
+        let answer = ref t.max_v in
+        (try
+           List.iter
+             (fun (i, c) ->
+               remaining := !remaining - c;
+               if !remaining <= 0 then begin
+                 answer := Float.min (Float.max (bucket_upper_bound i) t.min_v) t.max_v;
+                 raise Exit
+               end)
+             (buckets t)
+         with Exit -> ());
+        !answer
+      end
+    end
+
+  let p50 t = quantile t 50.0
+  let p95 t = quantile t 95.0
+  let p99 t = quantile t 99.0
+end
+
+type entry = { mutable n : int; mutable us : float }
+
+type t = {
+  mutable on : bool;
+  mutable stack : string list;  (* innermost span first *)
+  charges : (string, entry) Hashtbl.t;
+  hists : (string, Hist.t) Hashtbl.t;
+}
+
+let create ?(enabled = false) () =
+  { on = enabled; stack = []; charges = Hashtbl.create 64; hists = Hashtbl.create 16 }
+
+let enabled t = t.on
+let set_enabled t on = t.on <- on
+
+let reset t =
+  t.stack <- [];
+  Hashtbl.reset t.charges;
+  Hashtbl.reset t.hists
+
+let with_span t name f =
+  if not t.on then f ()
+  else begin
+    t.stack <- name :: t.stack;
+    Fun.protect ~finally:(fun () -> t.stack <- List.tl t.stack) f
+  end
+
+let current_path t = String.concat "/" (List.rev t.stack)
+
+let record_charge t ?label us =
+  if t.on then begin
+    let leaf = Option.value label ~default:"unattributed" in
+    let path = String.concat "/" (List.rev (leaf :: t.stack)) in
+    let e =
+      match Hashtbl.find_opt t.charges path with
+      | Some e -> e
+      | None ->
+          let e = { n = 0; us = 0.0 } in
+          Hashtbl.replace t.charges path e;
+          e
+    in
+    e.n <- e.n + 1;
+    e.us <- e.us +. us
+  end
+
+let observe t ~kind us =
+  if t.on then begin
+    let h =
+      match Hashtbl.find_opt t.hists kind with
+      | Some h -> h
+      | None ->
+          let h = Hist.create () in
+          Hashtbl.replace t.hists kind h;
+          h
+    in
+    Hist.add h us
+  end
+
+let charges t =
+  Hashtbl.fold (fun path e acc -> (path, e.n, e.us) :: acc) t.charges []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let charged_total ?(prefix = "") t =
+  Hashtbl.fold
+    (fun path e acc ->
+      if prefix = "" || (String.length path >= String.length prefix
+                         && String.sub path 0 (String.length prefix) = prefix)
+      then acc +. e.us
+      else acc)
+    t.charges 0.0
+
+let kinds t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.hists [] |> List.sort compare
+
+let hist t ~kind = Hashtbl.find_opt t.hists kind
+
+let hist_to_json h =
+  Sim_json.Obj
+    [
+      ("count", Sim_json.Num (float_of_int (Hist.count h)));
+      ("total_us", Sim_json.Num (Hist.total h));
+      ("min_us", Sim_json.Num (Hist.min_value h));
+      ("p50_us", Sim_json.Num (Hist.p50 h));
+      ("p95_us", Sim_json.Num (Hist.p95 h));
+      ("p99_us", Sim_json.Num (Hist.p99 h));
+      ("max_us", Sim_json.Num (Hist.max_value h));
+      ( "buckets",
+        Sim_json.List
+          (List.map
+             (fun (i, c) ->
+               Sim_json.Obj
+                 [
+                   ("upper_us", Sim_json.Num (Hist.bucket_upper_bound i));
+                   ("count", Sim_json.Num (float_of_int c));
+                 ])
+             (Hist.buckets h)) );
+    ]
+
+let to_json t =
+  Sim_json.Obj
+    [
+      ( "charges",
+        Sim_json.List
+          (List.map
+             (fun (path, n, us) ->
+               Sim_json.Obj
+                 [
+                   ("path", Sim_json.Str path);
+                   ("count", Sim_json.Num (float_of_int n));
+                   ("us", Sim_json.Num us);
+                 ])
+             (charges t)) );
+      ( "latency",
+        Sim_json.List
+          (List.map
+             (fun kind ->
+               match hist t ~kind with
+               | None -> Sim_json.Null
+               | Some h ->
+                   (match hist_to_json h with
+                   | Sim_json.Obj fields -> Sim_json.Obj (("kind", Sim_json.Str kind) :: fields)
+                   | other -> other))
+             (kinds t)) );
+    ]

@@ -92,7 +92,7 @@ let pending_demand t = t.demand
 (* The SPCM is a server process: each request costs an IPC round trip. *)
 let charge_rpc t =
   let c = (K.machine t.kern).Hw_machine.cost in
-  Hw_machine.charge (K.machine t.kern)
+  Hw_machine.charge ~label:"spcm/rpc" (K.machine t.kern)
     (c.Hw_cost.ipc_send +. c.Hw_cost.context_switch +. c.Hw_cost.manager_server_dispatch
    +. c.Hw_cost.ipc_reply +. c.Hw_cost.context_switch)
 

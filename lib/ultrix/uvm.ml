@@ -71,7 +71,7 @@ let machine t = t.machine
 let stats t = t.stats
 let resident_pages t = Hashtbl.length t.core
 let cost t = t.machine.Machine.cost
-let charge t us = Machine.charge t.machine us
+let charge ?label t us = Machine.charge ?label t.machine us
 
 let create_process t ~name:_ =
   let pid = t.next_pid in
@@ -138,9 +138,11 @@ let install t id ~dirty =
 (* ------------------------------------------------------------------ *)
 
 let fault_in_anon t pid vpn ~(access : access) =
+  Machine.with_span t.machine "fault" @@ fun () ->
   let c = cost t in
   t.stats.faults <- t.stats.faults + 1;
-  charge t (c.Hw_cost.trap_entry +. c.Hw_cost.fault_decode +. c.Hw_cost.ultrix_fault_service);
+  charge ~label:"ultrix/fault_service" t
+    (c.Hw_cost.trap_entry +. c.Hw_cost.fault_decode +. c.Hw_cost.ultrix_fault_service);
   let id = Anon { pid; vpn } in
   let from_swap = Hashtbl.mem t.swapped id in
   if from_swap then begin
@@ -151,12 +153,12 @@ let fault_in_anon t pid vpn ~(access : access) =
   end
   else begin
     (* Fresh allocation: security zeroing, the cost V++ avoids. *)
-    charge t c.Hw_cost.zero_page;
+    charge ~label:"ultrix/zero_fill" t c.Hw_cost.zero_page;
     t.stats.zero_fills <- t.stats.zero_fills + 1
   end;
   let st = install t id ~dirty:(access = Write) in
   ignore st;
-  charge t (c.Hw_cost.pte_update +. c.Hw_cost.trap_exit)
+  charge ~label:"ultrix/pte_update" t (c.Hw_cost.pte_update +. c.Hw_cost.trap_exit)
 
 let touch t pid ~vpn ~access =
   t.stats.touches <- t.stats.touches + 1;
@@ -170,10 +172,10 @@ let touch t pid ~vpn ~access =
       (match Tlb.lookup t.machine.Machine.tlb ~space:pid ~vpn with
       | Some _ -> ()
       | None ->
-          charge t c.Hw_cost.tlb_refill;
+          charge ~label:"ultrix/tlb_refill" t c.Hw_cost.tlb_refill;
           Tlb.fill t.machine.Machine.tlb ~space:pid ~vpn ~frame:0)
   | Some _ | None ->
-      charge t c.Hw_cost.segment_walk;
+      charge ~label:"ultrix/segment_walk" t c.Hw_cost.segment_walk;
       (match Hashtbl.find_opt t.core id with
       | Some st ->
           st.referenced <- true;
@@ -231,23 +233,24 @@ let preload t fd =
 let read_call t fd ~offset_kb ~kb =
   let c = cost t in
   t.stats.read_calls <- t.stats.read_calls + 1;
-  charge t (c.Hw_cost.syscall_base +. c.Hw_cost.vnode_lookup);
+  charge ~label:"ultrix/read_syscall" t (c.Hw_cost.syscall_base +. c.Hw_cost.vnode_lookup);
   let first = page_of_kb offset_kb in
   let pages = max 1 ((kb + 3) / 4) in
   for p = first to first + pages - 1 do
     cache_file_page t fd p ~for_write:false;
-    charge t c.Hw_cost.copy_page
+    charge ~label:"ultrix/copy_page" t c.Hw_cost.copy_page
   done
 
 let write_call t fd ~offset_kb ~kb =
   let c = cost t in
   t.stats.write_calls <- t.stats.write_calls + 1;
-  charge t (c.Hw_cost.syscall_base +. c.Hw_cost.vnode_lookup +. c.Hw_cost.ultrix_write_bookkeeping);
+  charge ~label:"ultrix/write_syscall" t
+    (c.Hw_cost.syscall_base +. c.Hw_cost.vnode_lookup +. c.Hw_cost.ultrix_write_bookkeeping);
   let first = page_of_kb offset_kb in
   let pages = max 1 ((kb + 3) / 4) in
   for p = first to first + pages - 1 do
     cache_file_page t fd p ~for_write:true;
-    charge t c.Hw_cost.copy_page
+    charge ~label:"ultrix/copy_page" t c.Hw_cost.copy_page
   done
 
 let split_chunks ~offset_kb ~kb =
@@ -281,12 +284,16 @@ let touch_protected t pid ~vpn =
   | Some st when st.protected_ ->
       let c = cost t in
       t.stats.user_faults <- t.stats.user_faults + 1;
-      (* SIGSEGV to the handler, which calls mprotect and returns. *)
-      charge t
-        (c.Hw_cost.trap_entry +. c.Hw_cost.fault_decode +. c.Hw_cost.signal_deliver
-        +. (c.Hw_cost.syscall_base +. c.Hw_cost.mprotect_base +. c.Hw_cost.pte_update
-          +. c.Hw_cost.tlb_flush_page)
-        +. c.Hw_cost.sigreturn);
+      (* SIGSEGV to the handler, which calls mprotect and returns. The
+         three charges sum to the single combined cost charged before the
+         observability layer split them for attribution. *)
+      Machine.with_span t.machine "fault" (fun () ->
+          charge ~label:"ultrix/signal_deliver" t
+            (c.Hw_cost.trap_entry +. c.Hw_cost.fault_decode +. c.Hw_cost.signal_deliver);
+          charge ~label:"ultrix/mprotect" t
+            (c.Hw_cost.syscall_base +. c.Hw_cost.mprotect_base +. c.Hw_cost.pte_update
+           +. c.Hw_cost.tlb_flush_page);
+          charge ~label:"ultrix/sigreturn" t c.Hw_cost.sigreturn);
       st.protected_ <- false;
       st.referenced <- true
   | Some _ | None -> invalid_arg "Uvm.touch_protected: page not resident and protected"

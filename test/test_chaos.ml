@@ -314,6 +314,241 @@ let test_checkpoint_durable_loss () =
   check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine)
 
 (* ------------------------------------------------------------------ *)
+(* Mgr_coloring: seeded traffic storm, colors and conservation hold    *)
+(* ------------------------------------------------------------------ *)
+
+(* The coloring manager never touches the disk, so its storm is seeded
+   traffic, not injected IO faults: a random touch pattern driving pool
+   refills under a tight capacity. The invariants are the same — frames
+   conserved, every resident page correctly colored, no wedged process. *)
+let test_coloring_traffic_storm () =
+  let frames = 256 in
+  let machine, kernel, _ = kernel_with_source ~frames () in
+  let init = K.initial_segment kernel in
+  let mem = machine.Machine.mem in
+  let source ~color ~dst ~dst_page ~count =
+    let init_seg = K.segment kernel init in
+    let granted = ref 0 in
+    let slot = ref 0 in
+    while !granted < count && !slot < Seg.length init_seg do
+      (match (Seg.page init_seg !slot).Seg.frame with
+      | Some f
+        when (match color with
+             | None -> true
+             | Some c -> (Hw_phys_mem.frame mem f).Hw_phys_mem.color = c) ->
+          K.migrate_pages kernel ~src:init ~dst ~src_page:!slot ~dst_page:(dst_page + !granted)
+            ~count:1 ();
+          incr granted
+      | Some _ | None -> ());
+      incr slot
+    done;
+    !granted
+  in
+  let mgr = Mgr_coloring.create kernel ~n_colors:16 ~source ~pool_capacity:64 () in
+  let seg = Mgr_coloring.create_segment mgr ~name:"ws" ~pages:48 in
+  let rng = Sim_rng.create 55L in
+  Engine.spawn machine.Machine.engine (fun () ->
+      for _ = 1 to 300 do
+        let page = Sim_rng.int rng 48 in
+        let access = if Sim_rng.bool rng then Mgr.Write else Mgr.Read in
+        K.touch kernel ~space:seg ~page ~access
+      done);
+  Engine.run machine.Machine.engine;
+  let good, total = Mgr_coloring.audit mgr ~seg in
+  check_int "every resident page correctly colored" total good;
+  check_bool "the storm faulted pages in" true (total > 0);
+  check_int "no color misses with a cooperative SPCM" 0 (Mgr_coloring.color_misses mgr);
+  check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine);
+  check_int "frame conservation" (Machine.n_frames machine) (K.frame_owner_total kernel)
+
+(* ------------------------------------------------------------------ *)
+(* Mgr_compressed: spill writes and disk re-fills under a write storm  *)
+(* ------------------------------------------------------------------ *)
+
+let test_compressed_spill_storm () =
+  let frames = 96 in
+  let machine, kernel, source = kernel_with_source ~frames () in
+  let chaos =
+    Chaos.create ~seed:66L { Chaos.default_spec with write_error_p = 0.3; read_error_p = 0.15 }
+  in
+  (* A tiny pool budget forces most evictions to spill to the real disk,
+     which is where the storm bites. *)
+  let config = { Mgr_compressed.default_config with budget_pages = 2.0 } in
+  let mgr =
+    Mgr_compressed.create kernel ~disk:machine.Machine.disk ~config ~source ~pool_capacity:48 ()
+  in
+  let seg = Mgr_compressed.create_segment mgr ~name:"cache" ~pages:32 in
+  let app_failures = ref 0 in
+  Engine.spawn machine.Machine.engine (fun () ->
+      for page = 0 to 31 do
+        K.touch kernel ~space:seg ~page ~access:Mgr.Write
+      done;
+      Hw_disk.set_chaos machine.Machine.disk (Some chaos);
+      (* Evict everything: compressions beyond the budget become spill
+         writes, some of which the storm kills. *)
+      for page = 0 to 31 do
+        try Mgr_compressed.evict mgr ~seg ~page
+        with Mgr_backing.Backing_failed _ -> incr app_failures
+      done;
+      (* Fault the working set back: decompressions, disk fills (under
+         read errors), or zero-fills for entries the storm lost. *)
+      for page = 0 to 31 do
+        try K.touch kernel ~space:seg ~page ~access:Mgr.Read
+        with Mgr_backing.Backing_failed _ -> incr app_failures
+      done);
+  Engine.run machine.Machine.engine;
+  Hw_disk.set_chaos machine.Machine.disk None;
+  check_bool "the storm actually stormed" true (Chaos.injected_failures chaos > 0);
+  check_bool "evictions compressed" true (Mgr_compressed.compressions mgr > 0);
+  check_bool "budget overflow spilled to disk" true (Mgr_compressed.spills mgr > 0);
+  check_int "frame conservation" (Machine.n_frames machine) (K.frame_owner_total kernel);
+  check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine);
+  (* Recovery: with the plan detached the whole segment is reachable. *)
+  let ok = ref 0 in
+  Engine.spawn machine.Machine.engine (fun () ->
+      for page = 0 to 31 do
+        K.touch kernel ~space:seg ~page ~access:Mgr.Read;
+        incr ok
+      done);
+  Engine.run machine.Machine.engine;
+  check_int "all pages reachable after recovery" 32 !ok;
+  check_int "frame conservation after recovery" (Machine.n_frames machine)
+    (K.frame_owner_total kernel)
+
+(* ------------------------------------------------------------------ *)
+(* Mgr_dsm: seeded coherence storm, protocol invariants + conservation *)
+(* ------------------------------------------------------------------ *)
+
+let dsm_storm ~seed =
+  let frames = 256 in
+  let machine, kernel, source = kernel_with_source ~frames () in
+  let nodes = 4 and pages = 12 in
+  let dsm = Mgr_dsm.create kernel ~source ~nodes ~pages () in
+  let rng = Sim_rng.create seed in
+  Engine.spawn machine.Machine.engine (fun () ->
+      for _ = 1 to 400 do
+        let node = Sim_rng.int rng nodes and page = Sim_rng.int rng pages in
+        if Sim_rng.bernoulli rng 0.4 then
+          Mgr_dsm.write dsm ~node ~page (Hw_page_data.of_string (Printf.sprintf "n%d" node))
+        else ignore (Mgr_dsm.read dsm ~node ~page)
+      done);
+  Engine.run machine.Machine.engine;
+  (machine, kernel, dsm, nodes, pages)
+
+let test_dsm_coherence_storm () =
+  let machine, kernel, dsm, nodes, pages = dsm_storm ~seed:77L in
+  (* MSI safety after an arbitrary interleaving: never two Exclusive
+     holders, and an Exclusive holder excludes Shared copies. *)
+  for page = 0 to pages - 1 do
+    let states = List.init nodes (fun node -> Mgr_dsm.state dsm ~node ~page) in
+    let exclusive = List.length (List.filter (( = ) Mgr_dsm.Exclusive) states) in
+    let shared = List.length (List.filter (( = ) Mgr_dsm.Shared) states) in
+    check_bool
+      (Printf.sprintf "page %d: at most one Exclusive holder" page)
+      true (exclusive <= 1);
+    check_bool
+      (Printf.sprintf "page %d: Exclusive excludes Shared copies" page)
+      true
+      (exclusive = 0 || shared = 0);
+    check_int
+      (Printf.sprintf "page %d: holders match the per-node states" page)
+      (exclusive + shared)
+      (List.length (Mgr_dsm.holders dsm ~page))
+  done;
+  check_bool "the storm shipped copies" true (Mgr_dsm.transfers dsm > 0);
+  check_bool "writes invalidated copies" true (Mgr_dsm.invalidations dsm > 0);
+  check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine);
+  check_int "frame conservation" (Machine.n_frames machine) (K.frame_owner_total kernel)
+
+let test_dsm_storm_replay () =
+  let observe seed =
+    let _, kernel, dsm, _, _ = dsm_storm ~seed in
+    ( Mgr_dsm.transfers dsm,
+      Mgr_dsm.invalidations dsm,
+      Mgr_dsm.downgrades dsm,
+      K.frame_owner_total kernel )
+  in
+  check_bool "same seed, same protocol traffic" true (observe 77L = observe 77L);
+  let t1, i1, _, _ = observe 77L and t2, i2, _, _ = observe 78L in
+  check_bool "different seed, different traffic" true (t1 <> t2 || i1 <> i2)
+
+(* ------------------------------------------------------------------ *)
+(* Mgr_gc: garbage discards dodge a write storm entirely               *)
+(* ------------------------------------------------------------------ *)
+
+let test_gc_discard_storm () =
+  let frames = 96 in
+  let machine, kernel, source = kernel_with_source ~frames () in
+  (* The internal backing retries 3 times, so a per-attempt error rate of
+     0.85 makes each logical write fail with p ~ 0.61 — over 16 dirty
+     pages both outcomes (failed and landed) occur for any seed. *)
+  let chaos = Chaos.create ~seed:88L { Chaos.default_spec with write_error_p = 0.85 } in
+  let mgr = Mgr_gc.create kernel ~disk:machine.Machine.disk ~source ~pool_capacity:48 () in
+  let heap = Mgr_gc.create_heap mgr ~name:"heap" ~pages:32 in
+  let garbage_reclaimed = ref 0 in
+  let conventional_reclaimed = ref 0 in
+  let write_failures = ref 0 in
+  Engine.spawn machine.Machine.engine (fun () ->
+      (* Dirty the whole heap, then storm the disk. *)
+      for page = 0 to 31 do
+        K.touch kernel ~space:heap ~page ~access:Mgr.Write
+      done;
+      Hw_disk.set_chaos machine.Machine.disk (Some chaos);
+      (* The collector declares the top half garbage: reclaiming it needs
+         no writeback, so the storm cannot touch it. *)
+      Mgr_gc.declare_garbage mgr ~seg:heap ~page:16 ~count:16;
+      garbage_reclaimed := Mgr_gc.reclaim_garbage mgr ~seg:heap;
+      (* A conventional pager would write the (dirty) bottom half to swap
+         — squarely into the storm. *)
+      for page = 0 to 15 do
+        try conventional_reclaimed := !conventional_reclaimed + Mgr_gc.evict_conventional mgr ~seg:heap ~page ~count:1
+        with Mgr_backing.Backing_failed _ -> incr write_failures
+      done);
+  Engine.run machine.Machine.engine;
+  Hw_disk.set_chaos machine.Machine.disk None;
+  check_int "garbage reclaimed without any disk traffic" 16 !garbage_reclaimed;
+  check_int "dirty garbage pages avoided writebacks" 16 (Mgr_gc.writebacks_avoided mgr);
+  check_bool "the storm failed some conventional writebacks" true (!write_failures > 0);
+  check_bool "some conventional evictions still landed" true (!conventional_reclaimed > 0);
+  (* A failed writeback must leave the page resident and owned — frames
+     conserved either way. *)
+  check_int "frame conservation" (Machine.n_frames machine) (K.frame_owner_total kernel);
+  check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine)
+
+(* ------------------------------------------------------------------ *)
+(* Mgr_dbms: index paging through a read storm                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_dbms_index_paging_storm () =
+  let frames = 256 in
+  let machine, kernel, source = kernel_with_source ~frames () in
+  let chaos = Chaos.create ~seed:99L { Chaos.default_spec with read_error_p = 0.3 } in
+  let mgr = Mgr_dbms.create kernel ~disk:machine.Machine.disk ~source ~pool_capacity:96 () in
+  let _rel = Mgr_dbms.create_relation mgr ~name:"accounts" ~pages:32 in
+  let idx = Mgr_dbms.create_index mgr ~name:"btree" ~pages:16 ~resident:true () in
+  let load_failures = ref 0 in
+  Engine.spawn machine.Machine.engine (fun () ->
+      (* Shrink: the index is evicted wholesale (clean pages, a discard —
+         no disk traffic, so the storm cannot interfere). *)
+      Mgr_dbms.evict_index mgr idx;
+      Hw_disk.set_chaos machine.Machine.disk (Some chaos);
+      (* Page it back in through the storm: each fill is a disk read. *)
+      (try Mgr_dbms.load_index_from_disk mgr idx
+       with Mgr_backing.Backing_failed _ -> incr load_failures);
+      Hw_disk.set_chaos machine.Machine.disk None;
+      (* Recovery: the retry either already got every page or this second
+         pass fills the rest — then a query touches the whole index. *)
+      Mgr_dbms.load_index_from_disk mgr idx;
+      Mgr_dbms.touch_index mgr idx ~pages:(List.init 16 Fun.id));
+  Engine.run machine.Machine.engine;
+  check_bool "the storm actually stormed" true (Chaos.injected_failures chaos > 0);
+  check_bool "index resident after recovery" true (Mgr_dbms.index_resident mgr idx);
+  check_int "all index pages resident" 16 (Mgr_dbms.resident_index_pages mgr);
+  check_bool "page-in events counted" true (Mgr_dbms.page_in_events mgr > 0);
+  check_int "frame conservation" (Machine.n_frames machine) (K.frame_owner_total kernel);
+  check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine)
+
+(* ------------------------------------------------------------------ *)
 (* The full experiment: every scenario, run twice, replay-equal        *)
 (* ------------------------------------------------------------------ *)
 
@@ -364,6 +599,23 @@ let () =
       ( "checkpoint manager",
         [ Alcotest.test_case "durability loss is survivable" `Quick test_checkpoint_durable_loss ]
       );
+      ( "coloring manager",
+        [ Alcotest.test_case "traffic storm keeps colors + frames" `Quick
+            test_coloring_traffic_storm ] );
+      ( "compressed manager",
+        [ Alcotest.test_case "spill storm: conservation + recovery" `Quick
+            test_compressed_spill_storm ] );
+      ( "dsm manager",
+        [
+          Alcotest.test_case "coherence storm keeps MSI safety" `Quick test_dsm_coherence_storm;
+          Alcotest.test_case "storm replays seed-for-seed" `Quick test_dsm_storm_replay;
+        ] );
+      ( "gc manager",
+        [ Alcotest.test_case "garbage discards dodge the write storm" `Quick
+            test_gc_discard_storm ] );
+      ( "dbms manager",
+        [ Alcotest.test_case "index paging through a read storm" `Quick
+            test_dbms_index_paging_storm ] );
       ( "experiment",
         [
           Alcotest.test_case "all scenarios, replayed" `Quick test_exp_chaos_end_to_end;

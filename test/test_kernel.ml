@@ -66,7 +66,7 @@ let test_initial_segment () =
     attrs
 
 let total_resident k =
-  List.fold_left (fun acc (_, n) -> acc + n) 0 (K.frame_owner_audit k)
+  K.frame_owner_total k
 
 let test_frame_conservation_after_migrates () =
   let k = kernel ~frames:32 () in
@@ -430,7 +430,7 @@ let prop_random_ops_conserve_frames =
                 end
                 else try K.touch k ~space:seg ~page ~access:Mgr.Read with K.Error _ -> ())
         ops;
-      let total = List.fold_left (fun acc (_, n) -> acc + n) 0 (K.frame_owner_audit k) in
+      let total = K.frame_owner_total k in
       total = 64)
 
 (* Flags algebra. *)
@@ -767,6 +767,131 @@ let test_figure2_protocol_trace () =
   in
   Alcotest.(check (list string)) "figure 2 sequence" expected tags
 
+(* ------------------------------------------------------------------ *)
+(* Golden span decompositions of the Table 1 identities                *)
+(* ------------------------------------------------------------------ *)
+
+(* The emergent Table 1 sums, broken into their span-attributed charges
+   by the observability layer (Exp_profile re-runs each path with the
+   metrics sink enabled). These lists are golden: a new charge on any of
+   these code paths, or a moved constant, shows up here as an exact
+   diff — rebalance per the hw_cost.mli identities before updating. *)
+let check_string = Alcotest.(check string)
+
+let table1_golden =
+  [
+    ( "vpp_minimal_fault_in_process",
+      107.0,
+      [
+        ("fault/missing/kernel/migrate", 1, 46.0);
+        ("fault/missing/kernel/resume", 1, 16.0);
+        ("fault/missing/kernel/trap", 1, 10.0);
+        ("fault/missing/kernel/upcall", 1, 10.0);
+        ("fault/missing/mgr/fault_logic", 1, 12.0);
+        ("kernel/pte_update", 1, 4.0);
+        ("kernel/segment_walk", 1, 9.0);
+      ] );
+    ( "vpp_minimal_fault_via_manager",
+      379.0,
+      [
+        ("fault/missing/kernel/ipc_call", 1, 148.0);
+        ("fault/missing/kernel/ipc_return", 1, 150.0);
+        ("fault/missing/kernel/migrate", 1, 46.0);
+        ("fault/missing/kernel/trap", 1, 10.0);
+        ("fault/missing/mgr/fault_logic", 1, 12.0);
+        ("kernel/pte_update", 1, 4.0);
+        ("kernel/segment_walk", 1, 9.0);
+      ] );
+    ( "ultrix_minimal_fault",
+      175.0,
+      [
+        ("fault/ultrix/fault_service", 1, 80.0);
+        ("fault/ultrix/pte_update", 1, 11.0);
+        ("fault/ultrix/zero_fill", 1, 75.0);
+        ("ultrix/segment_walk", 1, 9.0);
+      ] );
+    ( "ultrix_user_reprotect_fault",
+      152.0,
+      [
+        ("fault/ultrix/mprotect", 1, 51.0);
+        ("fault/ultrix/signal_deliver", 1, 55.0);
+        ("fault/ultrix/sigreturn", 1, 46.0);
+      ] );
+    ( "vpp_read_4kb",
+      222.0,
+      [ ("kernel/copy_page", 1, 150.0); ("kernel/uio_read", 1, 72.0) ] );
+    ( "vpp_write_4kb",
+      203.0,
+      [ ("kernel/copy_page", 1, 150.0); ("kernel/uio_write", 1, 53.0) ] );
+    ( "ultrix_read_4kb",
+      211.0,
+      [ ("ultrix/copy_page", 1, 150.0); ("ultrix/read_syscall", 1, 61.0) ] );
+    ( "ultrix_write_4kb",
+      311.0,
+      [ ("ultrix/copy_page", 1, 150.0); ("ultrix/write_syscall", 1, 161.0) ] );
+  ]
+
+let test_table1_span_decomposition () =
+  let rows = (Exp_profile.run ()).Exp_profile.rows in
+  check_int "eight rows profiled" (List.length table1_golden) (List.length rows);
+  List.iter2
+    (fun (name, pinned, golden) row ->
+      check_string (name ^ ": row label") name row.Exp_profile.p_label;
+      check_float (name ^ ": pinned total") pinned row.Exp_profile.p_pinned_us;
+      check_float (name ^ ": measured = pinned") pinned row.Exp_profile.p_measured_us;
+      let spans = row.Exp_profile.p_spans in
+      let span_sum = List.fold_left (fun acc (_, _, us) -> acc +. us) 0.0 spans in
+      check_float (name ^ ": spans sum to the identity") pinned span_sum;
+      check_int (name ^ ": span count") (List.length golden) (List.length spans);
+      List.iter2
+        (fun (gp, gn, gus) (p, n, us) ->
+          check_string (name ^ ": path " ^ gp) gp p;
+          check_int (name ^ ": count of " ^ gp) gn n;
+          check_float (name ^ ": cost of " ^ gp) gus us)
+        golden spans)
+    table1_golden rows
+
+let test_table1_decomposition_matches_cost_constants () =
+  (* Cross-check the attribution against hw_cost.ml directly: the charged
+     parts are the documented constants, not merely numbers that happen
+     to sum right. *)
+  let c = Hw_cost.decstation_5000_200 in
+  let rows = (Exp_profile.run ()).Exp_profile.rows in
+  let span row path =
+    match
+      List.find_opt (fun (p, _, _) -> p = path) row.Exp_profile.p_spans
+    with
+    | Some (_, _, us) -> us
+    | None -> Alcotest.fail (row.Exp_profile.p_label ^ ": missing span " ^ path)
+  in
+  let row name = List.find (fun r -> r.Exp_profile.p_label = name) rows in
+  let inproc = row "vpp_minimal_fault_in_process" in
+  check_float "migrate is the 1-page MigratePages cost"
+    (c.Hw_cost.syscall_base +. c.Hw_cost.migrate_base +. c.Hw_cost.migrate_per_page)
+    (span inproc "fault/missing/kernel/migrate");
+  check_float "trap is entry + decode"
+    (c.Hw_cost.trap_entry +. c.Hw_cost.fault_decode)
+    (span inproc "fault/missing/kernel/trap");
+  check_float "upcall constant" c.Hw_cost.upcall_deliver
+    (span inproc "fault/missing/kernel/upcall");
+  check_float "resume constant" c.Hw_cost.resume_direct
+    (span inproc "fault/missing/kernel/resume");
+  check_float "manager logic constant" c.Hw_cost.manager_fault_logic
+    (span inproc "fault/missing/mgr/fault_logic");
+  let via = row "vpp_minimal_fault_via_manager" in
+  check_float "ipc call leg"
+    (c.Hw_cost.ipc_send +. c.Hw_cost.context_switch +. c.Hw_cost.manager_server_dispatch)
+    (span via "fault/missing/kernel/ipc_call");
+  check_float "ipc return leg"
+    (c.Hw_cost.ipc_reply +. c.Hw_cost.context_switch +. c.Hw_cost.resume_via_kernel
+   +. c.Hw_cost.trap_exit)
+    (span via "fault/missing/kernel/ipc_return");
+  let ultrix = row "ultrix_minimal_fault" in
+  check_float "zero-fill is the zero_page constant" c.Hw_cost.zero_page
+    (span ultrix "fault/ultrix/zero_fill");
+  check_float "copy is the copy_page constant" c.Hw_cost.copy_page
+    (span (row "vpp_read_4kb") "kernel/copy_page")
+
 let () =
   Alcotest.run "kernel"
     [
@@ -846,4 +971,11 @@ let () =
         ] );
       ( "figure2",
         [ Alcotest.test_case "protocol trace" `Quick test_figure2_protocol_trace ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "golden Table 1 span decompositions" `Quick
+            test_table1_span_decomposition;
+          Alcotest.test_case "decomposition matches the cost constants" `Quick
+            test_table1_decomposition_matches_cost_constants;
+        ] );
     ]
