@@ -11,11 +11,28 @@
       time, to regenerate each artifact. Useful for tracking simulator
       performance regressions.
 
-   Run with: dune exec bench/main.exe
-   Set VPP_BENCH_FAST=1 to skip the Bechamel pass (used by CI smoke runs). *)
+   Run with: dune exec bench/main.exe [-- --jobs N]
+   --jobs N runs the independent experiments on N OCaml domains (joined in
+   fixed order, so the printed report is byte-identical to a sequential
+   run). Set VPP_BENCH_FAST=1 to skip the Bechamel pass (used by CI smoke
+   runs). *)
 
 open Bechamel
 open Toolkit
+
+(* Minimal flag scan: Bechamel owns no CLI, so the harness takes just
+   "--jobs N" (or "--jobs=N"). *)
+let jobs =
+  let argv = Sys.argv in
+  let jobs = ref 1 in
+  Array.iteri
+    (fun i arg ->
+      if arg = "--jobs" && i + 1 < Array.length argv then
+        jobs := max 1 (int_of_string argv.(i + 1))
+      else if String.length arg > 7 && String.sub arg 0 7 = "--jobs=" then
+        jobs := max 1 (int_of_string (String.sub arg 7 (String.length arg - 7))))
+    argv;
+  !jobs
 
 let line () = print_endline (String.make 78 '=')
 
@@ -23,24 +40,30 @@ let reproduce () =
   line ();
   print_endline "Reproduction: Harty & Cheriton, ASPLOS 1992 — all tables and figures";
   line ();
-  print_string (Exp_table1.render (Exp_table1.run ()));
-  print_newline ();
-  print_string (Exp_table2.render (Exp_table2.run ()));
-  print_newline ();
-  print_string (Exp_table3.render (Exp_table3.run ()));
-  print_newline ();
-  print_string (Exp_table4.render (Exp_table4.run ()));
-  print_newline ();
-  print_string (Exp_figures.render (Exp_figures.run ()));
+  print_string
+    (Exp_par.concat ~jobs ~sep:"\n"
+       [
+         (fun () -> Exp_table1.render (Exp_table1.run ()));
+         (fun () -> Exp_table2.render (Exp_table2.run ()));
+         (fun () -> Exp_table3.render (Exp_table3.run ()));
+         (fun () -> Exp_table4.render (Exp_table4.run ()));
+         (fun () -> Exp_figures.render (Exp_figures.run ()));
+       ]);
   print_newline ();
   line ();
   print_endline "Ablations of the design choices";
   line ();
-  List.iter
-    (fun a ->
-      print_string (Exp_ablations.render a);
-      print_newline ())
-    (Exp_ablations.run_all ());
+  print_string
+    (Exp_par.concat ~jobs ~sep:""
+       (List.map
+          (fun run () -> Exp_ablations.render (run ()) ^ "\n")
+          [
+            Exp_ablations.append_batch;
+            Exp_ablations.delivery_mode;
+            Exp_ablations.reprotect_batch;
+            Exp_ablations.regeneration_crossover;
+            Exp_ablations.eviction_destination;
+          ]));
   print_string (Exp_substrate.render (Exp_substrate.run ()));
   print_newline ();
   line ();
@@ -57,7 +80,16 @@ let reproduce () =
   let oc = open_out "BENCH_observability.json" in
   output_string oc record;
   close_out oc;
-  print_endline "(machine-readable record written to BENCH_observability.json)"
+  print_endline "(machine-readable record written to BENCH_observability.json)";
+  line ();
+  print_endline "Perf: simulator throughput at scale";
+  line ();
+  let perf = Exp_scale.run ~jobs () in
+  print_string (Exp_scale.render perf);
+  let oc = open_out "BENCH_perf.json" in
+  output_string oc (Exp_scale.render_json perf);
+  close_out oc;
+  print_endline "(machine-readable record written to BENCH_perf.json)"
 
 (* One Test.make per table/figure. Table 4 runs in its quick (60 s
    simulated) configuration here so a Bechamel sample stays subsecond. *)

@@ -18,23 +18,64 @@ let run_profile json () =
   let r = Exp_profile.run () in
   if json then print_string (Exp_profile.render_json r) else print_string (Exp_profile.render r)
 
-let run_ablations () =
-  List.iter
-    (fun a ->
-      print_string (Exp_ablations.render a);
-      print_newline ())
-    (Exp_ablations.run_all ())
+(* The ablations and the [all] group are independent deterministic
+   experiments; with --jobs they fan out over domains via Exp_par, whose
+   in-order join keeps the printed bytes identical to a sequential run. *)
 
-let run_all quick () =
-  run_table1 ();
-  print_newline ();
-  run_table2 ();
-  print_newline ();
-  run_table3 ();
-  print_newline ();
-  run_table4 quick ();
-  print_newline ();
-  run_figures ()
+let run_ablations jobs () =
+  print_string
+    (Exp_par.concat ~jobs ~sep:""
+       (List.map
+          (fun run () -> Exp_ablations.render (run ()) ^ "\n")
+          [
+            Exp_ablations.append_batch;
+            Exp_ablations.delivery_mode;
+            Exp_ablations.reprotect_batch;
+            Exp_ablations.regeneration_crossover;
+            Exp_ablations.eviction_destination;
+          ]))
+
+let run_all quick jobs () =
+  print_string
+    (Exp_par.concat ~jobs ~sep:"\n"
+       [
+         (fun () -> Exp_table1.render (Exp_table1.run ()));
+         (fun () -> Exp_table2.render (Exp_table2.run ()));
+         (fun () -> Exp_table3.render (Exp_table3.run ()));
+         (fun () -> Exp_table4.render (Exp_table4.run ~quick ()));
+         (fun () -> Exp_figures.render (Exp_figures.run ()));
+       ])
+
+let run_perf quick json jobs out () =
+  let r = Exp_scale.run ~quick ?jobs () in
+  let record = Exp_scale.render_json r in
+  let oc = open_out out in
+  output_string oc record;
+  close_out oc;
+  if json then print_string record
+  else begin
+    print_string (Exp_scale.render r);
+    Printf.printf "(machine-readable record written to %s)\n" out
+  end;
+  if not (Exp_report.all_pass r.Exp_scale.checks) then exit 1
+
+let run_perf_validate file () =
+  let contents =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error e ->
+      Printf.eprintf "%s\n" e;
+      exit 1
+  in
+  match Sim_json.parse contents with
+  | Error e ->
+      Printf.eprintf "%s: JSON parse error: %s\n" file e;
+      exit 1
+  | Ok json -> (
+      match Exp_scale.validate_json json with
+      | Ok () -> Printf.printf "%s: valid %s record\n" file Exp_scale.schema_version
+      | Error e ->
+          Printf.eprintf "%s: invalid %s record: %s\n" file Exp_scale.schema_version e;
+          exit 1)
 
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Shorten the Table 4 simulation (60s instead of 300s).")
@@ -51,6 +92,31 @@ let seed_opt =
     & opt (some int64) None
     & info [ "seed" ] ~docv:"SEED" ~doc:"Fault-plan seed (same seed, same storm).")
 
+let jobs_opt =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run independent experiments on $(docv) OCaml domains. Output is joined in fixed \
+           order, so it is byte-identical to a sequential run.")
+
+let perf_jobs_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domain count for the perf record's driver leg (default: the recommended domain \
+           count).")
+
+let out_opt =
+  Arg.(
+    value & opt string "BENCH_perf.json"
+    & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the vpp-perf/1 record.")
+
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Record to validate.")
+
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
 let () =
@@ -64,7 +130,7 @@ let () =
       cmd "figures" "Figures 1 and 2 as live kernel-state dumps"
         Term.(const run_figures $ const ());
       cmd "ablate" "Ablations of the design choices (batching, delivery mode, crossover)"
-        Term.(const run_ablations $ const ());
+        Term.(const run_ablations $ jobs_opt $ const ());
       cmd "stats" "Translation-substrate statistics (mapping hash, TLB) for the Table 2 runs"
         Term.(const run_stats $ const ());
       cmd "chaos" "Seeded fault-injection storms on the disk/manager paths (not a paper table)"
@@ -72,7 +138,13 @@ let () =
       cmd "profile"
         "Cost attribution for the Table 1 paths plus latency histograms (not a paper table)"
         Term.(const run_profile $ json_flag $ const ());
-      cmd "all" "Every table and figure" Term.(const run_all $ quick_flag $ const ());
+      cmd "perf"
+        "Simulator throughput at 8 MB/512 MB/4 GB machine sizes plus the parallel-driver \
+         timing (the vpp-perf/1 record; not a paper table)"
+        Term.(const run_perf $ quick_flag $ json_flag $ perf_jobs_opt $ out_opt $ const ());
+      cmd "perf-validate" "Validate a vpp-perf/1 record written by perf or bench"
+        Term.(const run_perf_validate $ file_arg $ const ());
+      cmd "all" "Every table and figure" Term.(const run_all $ quick_flag $ jobs_opt $ const ());
     ]
   in
   let info =
@@ -81,4 +153,5 @@ let () =
         "Reproduction of 'Application-Controlled Physical Memory using External Page-Cache \
          Management' (Harty & Cheriton, ASPLOS 1992)"
   in
-  exit (Cmd.eval (Cmd.group info ~default:Term.(const run_all $ quick_flag $ const ()) cmds))
+  exit
+    (Cmd.eval (Cmd.group info ~default:Term.(const run_all $ quick_flag $ jobs_opt $ const ()) cmds))

@@ -71,6 +71,11 @@ type stats = {
   mutable touches : int;
 }
 
+(* Translation-cache keys pointing at one resolved slot. *)
+type keyset =
+  | Single of int * int  (* space, vpn *)
+  | Many of (int * int, unit) Hashtbl.t
+
 type t = {
   machine : Machine.t;
   segments : (int, Seg.t) Hashtbl.t;
@@ -79,10 +84,14 @@ type t = {
   mutable next_mgr : int;
   init_seg : int;
   stats : stats;
-  per_manager_calls : (int, int) Hashtbl.t;
+  per_manager_calls : (int, int ref) Hashtbl.t;
   (* Reverse index: resolved slot -> translation-cache keys that point at
-     it, so migrating or reprotecting a slot can invalidate precisely. *)
-  cached_keys : (int * int, (int * int) list) Hashtbl.t;
+     it, so migrating or reprotecting a slot can invalidate precisely. The
+     overwhelmingly common case is a slot cached under exactly one key
+     (its own space), so that case is an immediate pair; a slot shared by
+     several spaces upgrades to a small hash set, keeping recording O(1)
+     rather than a linear membership scan. *)
+  cached_keys : (int * int, keyset) Hashtbl.t;
   mutable fault_depth : int;
   max_fault_depth : int;
 }
@@ -114,7 +123,7 @@ let create machine =
       ~pages:n
   in
   for i = 0 to n - 1 do
-    (Seg.page init i).Seg.frame <- Some i;
+    Seg.set_frame init i (Some i);
     (Phys.frame machine.Machine.mem i).Phys.owner <- 0
   done;
   let segments = Hashtbl.create 64 in
@@ -138,7 +147,12 @@ let stats t = t.stats
 let initial_segment t = t.init_seg
 
 let manager_calls_of t mid =
-  try Hashtbl.find t.per_manager_calls mid with Not_found -> 0
+  match Hashtbl.find_opt t.per_manager_calls mid with Some r -> !r | None -> 0
+
+let count_manager_call t mid =
+  match Hashtbl.find_opt t.per_manager_calls mid with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.per_manager_calls mid (ref 1)
 
 let segment t sid =
   match Hashtbl.find_opt t.segments sid with
@@ -207,21 +221,32 @@ let grow_segment t sid ~pages =
 (* Translation-cache bookkeeping                                      *)
 (* ------------------------------------------------------------------ *)
 
-let record_cached_key t ~slot ~key =
-  let existing = try Hashtbl.find t.cached_keys slot with Not_found -> [] in
-  if not (List.mem key existing) then Hashtbl.replace t.cached_keys slot (key :: existing)
+let record_cached_key t ~slot:(sseg, spage) ~key:(kspace, kvpn) =
+  match Hashtbl.find_opt t.cached_keys (sseg, spage) with
+  | None -> Hashtbl.replace t.cached_keys (sseg, spage) (Single (kspace, kvpn))
+  | Some (Single (s, v)) ->
+      if s <> kspace || v <> kvpn then begin
+        let keys = Hashtbl.create 4 in
+        Hashtbl.replace keys (s, v) ();
+        Hashtbl.replace keys (kspace, kvpn) ();
+        Hashtbl.replace t.cached_keys (sseg, spage) (Many keys)
+      end
+  | Some (Many keys) -> if not (Hashtbl.mem keys (kspace, kvpn)) then Hashtbl.replace keys (kspace, kvpn) ()
 
 let invalidate_slot t ~seg ~page =
-  let slot = (seg, page) in
-  (match Hashtbl.find_opt t.cached_keys slot with
+  (match Hashtbl.find_opt t.cached_keys (seg, page) with
   | None -> ()
-  | Some keys ->
-      List.iter
-        (fun (space, vpn) ->
+  | Some (Single (space, vpn)) ->
+      Tlb.invalidate t.machine.Machine.tlb ~space ~vpn;
+      Pt.remove t.machine.Machine.page_table ~space ~vpn;
+      Hashtbl.remove t.cached_keys (seg, page)
+  | Some (Many keys) ->
+      Hashtbl.iter
+        (fun (space, vpn) () ->
           Tlb.invalidate t.machine.Machine.tlb ~space ~vpn;
           Pt.remove t.machine.Machine.page_table ~space ~vpn)
         keys;
-      Hashtbl.remove t.cached_keys slot);
+      Hashtbl.remove t.cached_keys (seg, page));
   (* The slot may also be cached under its own (seg, page) key. *)
   Tlb.invalidate t.machine.Machine.tlb ~space:seg ~vpn:page;
   Pt.remove t.machine.Machine.page_table ~space:seg ~vpn:page
@@ -240,7 +265,7 @@ let bind_region t ~space ~at ~len ~target ~target_page ~cow =
   if sp.Seg.seg_page_size <> tg.Seg.seg_page_size then
     fail (Page_size_mismatch { src = space; dst = target });
   if Seg.bindings_overlap sp ~at ~len then fail (Binding_overlap { seg = space; at; len });
-  sp.Seg.bindings <- { Seg.at; len; target; target_page; cow } :: sp.Seg.bindings;
+  Seg.add_binding sp { Seg.at; len; target; target_page; cow };
   charge ~label:"kernel/bind_region" t (cost t).Hw_cost.bind_region
 
 (* Follow bindings to the slot that holds (or should hold) the frame for a
@@ -279,9 +304,9 @@ let migrate_one t ~src_seg ~dst_seg ~src_page ~dst_page =
     | None -> fail (No_frame { seg = src_seg.Seg.sid; page = src_page })
   in
   if d_slot.Seg.frame <> None then fail (Frame_present { seg = dst_seg.Seg.sid; page = dst_page });
-  d_slot.Seg.frame <- Some frame_idx;
+  Seg.set_frame dst_seg dst_page (Some frame_idx);
   d_slot.Seg.flags <- s_slot.Seg.flags;
-  s_slot.Seg.frame <- None;
+  Seg.set_frame src_seg src_page None;
   s_slot.Seg.flags <- Flags.empty;
   (Phys.frame t.machine.Machine.mem frame_idx).Phys.owner <- dst_seg.Seg.sid;
   invalidate_slot t ~seg:src_seg.Seg.sid ~page:src_page;
@@ -305,8 +330,8 @@ let migrate_pages t ~src ~dst ~src_page ~dst_page ~count ?(set_flags = Flags.emp
   done;
   t.stats.migrate_calls <- t.stats.migrate_calls + 1;
   t.stats.migrated_pages <- t.stats.migrated_pages + count;
-  Machine.trace_emit t.machine ~tag:"step4.migrate"
-    (Printf.sprintf "%d page(s) seg %d[%d..] -> seg %d[%d..]" count src src_page dst dst_page)
+  Machine.trace_emit t.machine ~tag:"step4.migrate" (fun () ->
+      Printf.sprintf "%d page(s) seg %d[%d..] -> seg %d[%d..]" count src src_page dst dst_page)
 
 let modify_page_flags t ~seg ~page ~count ?(set_flags = Flags.empty)
     ?(clear_flags = Flags.empty) () =
@@ -358,7 +383,7 @@ let return_frame_to_initial t frame_idx =
   in
   let slot_idx = find (frame_idx mod n) 0 in
   let slot = Seg.page init slot_idx in
-  slot.Seg.frame <- Some frame_idx;
+  Seg.set_frame init slot_idx (Some frame_idx);
   slot.Seg.flags <- Flags.empty;
   (Phys.frame t.machine.Machine.mem frame_idx).Phys.owner <- t.init_seg
 
@@ -376,7 +401,7 @@ let release_frames t ~seg ~page ~count =
     match slot.Seg.frame with
     | None -> ()
     | Some f ->
-        slot.Seg.frame <- None;
+        Seg.set_frame s (page + i) None;
         slot.Seg.flags <- Flags.empty;
         invalidate_slot t ~seg ~page:(page + i);
         return_frame_to_initial t f;
@@ -407,7 +432,7 @@ let destroy_segment t sid =
   | Some mid ->
       let m = manager t mid in
       t.stats.manager_calls <- t.stats.manager_calls + 1;
-      Hashtbl.replace t.per_manager_calls mid (manager_calls_of t mid + 1);
+      count_manager_call t mid;
       m.Mgr.on_close sid
   | None -> ());
   (* Frames the manager did not reclaim go back to the initial segment so
@@ -417,7 +442,7 @@ let destroy_segment t sid =
       match slot.Seg.frame with
       | None -> ()
       | Some f ->
-          slot.Seg.frame <- None;
+          Seg.set_frame s i None;
           slot.Seg.flags <- Flags.empty;
           invalidate_slot t ~seg:sid ~page:i;
           return_frame_to_initial t f)
@@ -456,11 +481,11 @@ let deliver_fault t (fault : Mgr.fault) =
       Machine.with_span t.machine span @@ fun () ->
       count_fault t fault.Mgr.f_kind;
       t.stats.manager_calls <- t.stats.manager_calls + 1;
-      Hashtbl.replace t.per_manager_calls mid (manager_calls_of t mid + 1);
+      count_manager_call t mid;
       let c = cost t in
       charge ~label:"kernel/trap" t (c.Hw_cost.trap_entry +. c.Hw_cost.fault_decode);
-      Machine.trace_emit t.machine ~tag:"step1.fault_to_manager"
-        (Printf.sprintf "%s -> manager %S" (Format.asprintf "%a" Mgr.pp_fault fault) m.Mgr.mname);
+      Machine.trace_emit t.machine ~tag:"step1.fault_to_manager" (fun () ->
+          Printf.sprintf "%s -> manager %S" (Format.asprintf "%a" Mgr.pp_fault fault) m.Mgr.mname);
       (match m.Mgr.mmode with
       | `In_process ->
           charge ~label:"kernel/upcall" t c.Hw_cost.upcall_deliver;
@@ -473,8 +498,8 @@ let deliver_fault t (fault : Mgr.fault) =
           charge ~label:"kernel/ipc_return" t
             (c.Hw_cost.ipc_reply +. c.Hw_cost.context_switch +. c.Hw_cost.resume_via_kernel
            +. c.Hw_cost.trap_exit));
-      Machine.trace_emit t.machine ~tag:"step5.resume"
-        (Printf.sprintf "seg %d page %d" fault.Mgr.f_seg fault.Mgr.f_page))
+      Machine.trace_emit t.machine ~tag:"step5.resume" (fun () ->
+          Printf.sprintf "seg %d page %d" fault.Mgr.f_seg fault.Mgr.f_page))
 
 (* Ensure a frame with suitable protection is present at the slot that
    backs ([space], [page]); fault to managers as many times as needed
@@ -620,11 +645,14 @@ let uio_write t ~seg ~page data =
 (* Introspection                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let frame_owner_audit t =
+let audit_with resident t =
   Hashtbl.fold
-    (fun sid seg acc -> if seg.Seg.alive then (sid, Seg.resident_pages seg) :: acc else acc)
+    (fun sid seg acc -> if seg.Seg.alive then (sid, resident seg) :: acc else acc)
     t.segments []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let frame_owner_audit t = audit_with Seg.resident_pages t
+let frame_owner_audit_scan t = audit_with Seg.resident_pages_scan t
 
 let frame_owner_total t =
   List.fold_left (fun acc (_, n) -> acc + n) 0 (frame_owner_audit t)
@@ -635,7 +663,7 @@ let render_address_space t sid =
   Buffer.add_string buf
     (Printf.sprintf "Virtual Address Space Segment %d (%S), %d pages\n" sid seg.Seg.sname
        (Seg.length seg));
-  let bindings = List.sort (fun a b -> compare a.Seg.at b.Seg.at) seg.Seg.bindings in
+  let bindings = Seg.bindings_list seg in
   List.iter
     (fun b ->
       let tgt = segment t b.Seg.target in

@@ -196,7 +196,13 @@ val resolve_slot : t -> space:Epcm_segment.id -> page:int -> (Epcm_segment.id * 
 val frame_owner_audit : t -> (int * int) list
 (** For the conservation invariant: (segment id, resident frames) for all
     live segments. The sum over all segments always equals the number of
-    physical frames. *)
+    physical frames. Uses the per-segment incremental resident counters:
+    O(live segments), not O(segments × pages). *)
+
+val frame_owner_audit_scan : t -> (int * int) list
+(** The same audit computed by scanning every segment's page array — the
+    O(segments × pages) reference that the equivalence tests pin
+    {!frame_owner_audit} against after every chaos storm. *)
 
 val frame_owner_total : t -> int
 (** The sum of {!frame_owner_audit}: total frames owned by live segments.

@@ -19,8 +19,9 @@ type t = {
   seg_page_size : int;
   mutable pages : page_state array;
   mutable manager : int option;
-  mutable bindings : binding list;
+  mutable bindings : binding array;
   mutable alive : bool;
+  mutable resident : int;
 }
 
 let fresh_page () = { frame = None; flags = Epcm_flags.empty }
@@ -34,8 +35,9 @@ let make ~sid ~name ~page_size ~pages =
     seg_page_size = page_size;
     pages = Array.init pages (fun _ -> fresh_page ());
     manager = None;
-    bindings = [];
+    bindings = [||];
     alive = true;
+    resident = 0;
   }
 
 let length t = Array.length t.pages
@@ -46,19 +48,70 @@ let page t p =
     invalid_arg (Printf.sprintf "Epcm_segment.page: page %d out of range of segment %d" p t.sid);
   t.pages.(p)
 
-let binding_covering t p = List.find_opt (fun b -> p >= b.at && p < b.at + b.len) t.bindings
+let set_frame t p frame =
+  let slot = page t p in
+  (match (slot.frame, frame) with
+  | None, Some _ -> t.resident <- t.resident + 1
+  | Some _, None -> t.resident <- t.resident - 1
+  | None, None | Some _, Some _ -> ());
+  slot.frame <- frame
+
+(* [bindings] is kept sorted by [at]; regions are disjoint (enforced by the
+   kernel via [bindings_overlap]), so the binding covering a page — if any
+   — is the one with the greatest [at <= p]. *)
+
+(* Index of the last binding with [at <= p], or -1. *)
+let rightmost_at_or_below t p =
+  let lo = ref 0 and hi = ref (Array.length t.bindings - 1) and found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.bindings.(mid).at <= p then begin
+      found := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !found
+
+let binding_covering t p =
+  let i = rightmost_at_or_below t p in
+  if i < 0 then None
+  else
+    let b = t.bindings.(i) in
+    if p < b.at + b.len then Some b else None
 
 let bindings_overlap t ~at ~len =
-  List.exists (fun b -> at < b.at + b.len && b.at < at + len) t.bindings
+  (* With sorted disjoint regions, only the neighbours of the insertion
+     point can overlap [at, at+len). *)
+  let i = rightmost_at_or_below t at in
+  let overlaps b = at < b.at + b.len && b.at < at + len in
+  (i >= 0 && overlaps t.bindings.(i))
+  || (i + 1 < Array.length t.bindings && overlaps t.bindings.(i + 1))
 
-let resident_pages t =
+let add_binding t b =
+  let n = Array.length t.bindings in
+  let pos = rightmost_at_or_below t b.at + 1 in
+  let bigger = Array.make (n + 1) b in
+  Array.blit t.bindings 0 bigger 0 pos;
+  Array.blit t.bindings pos bigger (pos + 1) (n - pos);
+  t.bindings <- bigger
+
+let bindings_list t = Array.to_list t.bindings
+
+let resident_pages t = t.resident
+
+let resident_pages_scan t =
   Array.fold_left (fun acc p -> if p.frame = None then acc else acc + 1) 0 t.pages
 
 let frames t =
-  Array.to_list t.pages |> List.filter_map (fun p -> p.frame)
+  let acc = ref [] in
+  for i = Array.length t.pages - 1 downto 0 do
+    match t.pages.(i).frame with Some f -> acc := f :: !acc | None -> ()
+  done;
+  !acc
 
 let pp ppf t =
   Format.fprintf ppf "seg %d %S: %d pages, %d resident, manager=%s, %d bindings" t.sid t.sname
     (length t) (resident_pages t)
     (match t.manager with None -> "none" | Some m -> string_of_int m)
-    (List.length t.bindings)
+    (Array.length t.bindings)

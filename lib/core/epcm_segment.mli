@@ -8,12 +8,20 @@
     in which case pages are effectively bound to the source until modified.
 
     This module is the passive data structure; all mutation with hardware
-    side effects (mappings, migration) goes through {!Epcm_kernel}. *)
+    side effects (mappings, migration) goes through {!Epcm_kernel}.
+
+    Scale notes: bound regions are kept in an array sorted by [at] (regions
+    are disjoint), so {!binding_covering} — on every fault-path segment walk
+    — is a binary search, and the segment carries an incremental resident
+    counter so {!resident_pages} (and the kernel's whole-machine frame
+    audit) is O(1) per segment rather than a fold over the page array. *)
 
 type id = int
 
 type page_state = {
-  mutable frame : int option;  (** Physical frame mapped here, if any. *)
+  mutable frame : int option;
+      (** Physical frame mapped here, if any. Mutate only through
+          {!set_frame}, which maintains the resident counter. *)
   mutable flags : Epcm_flags.t;
 }
 
@@ -31,8 +39,12 @@ type t = {
   seg_page_size : int;
   mutable pages : page_state array;
   mutable manager : int option;  (** Manager id, see {!Epcm_manager}. *)
-  mutable bindings : binding list;  (** Regions bound into this segment. *)
+  mutable bindings : binding array;
+      (** Regions bound into this segment, sorted by [at], disjoint.
+          Mutate only through {!add_binding}. *)
   mutable alive : bool;
+  mutable resident : int;
+      (** Pages with a frame mapped; maintained by {!set_frame}. *)
 }
 
 val make : sid:id -> name:string -> page_size:int -> pages:int -> t
@@ -41,12 +53,29 @@ val in_range : t -> int -> bool
 val page : t -> int -> page_state
 (** Raises [Invalid_argument] when out of range. *)
 
+val set_frame : t -> int -> int option -> unit
+(** Set or clear the frame of a page, keeping the resident counter exact.
+    Raises [Invalid_argument] when out of range. *)
+
 val binding_covering : t -> int -> binding option
-(** The binding whose region covers the given page, if any. *)
+(** The binding whose region covers the given page, if any. O(log n). *)
 
 val bindings_overlap : t -> at:int -> len:int -> bool
+(** Does [at, at+len) intersect any bound region? O(log n). *)
+
+val add_binding : t -> binding -> unit
+(** Insert a region, keeping the array sorted by [at]. The caller
+    (the kernel) must have rejected overlaps first. *)
+
+val bindings_list : t -> binding list
+(** All bound regions, ascending by [at]. *)
+
 val resident_pages : t -> int
-(** Pages with a frame mapped. *)
+(** Pages with a frame mapped — the incremental counter, O(1). *)
+
+val resident_pages_scan : t -> int
+(** The same count by scanning the page array — O(pages). Kept as the
+    reference the equivalence tests pin {!resident_pages} against. *)
 
 val frames : t -> int list
 (** All frames mapped in this segment, ascending page order. *)

@@ -1,0 +1,246 @@
+(* Throughput record: Wl_scale at several machine sizes plus a timed
+   sequential-vs-parallel run of the experiment driver.
+
+   Wall-clock here is host time (Unix.gettimeofday), the one deliberate
+   exception to the no-wall-clock rule: the whole point of this record is
+   how fast the simulator executes deterministic work, so the simulated
+   side of every number below is reproducible and only [wall_s] varies
+   between hosts. *)
+
+module J = Sim_json
+
+let schema_version = "vpp-perf/1"
+
+type scale_row = {
+  s_result : Wl_scale.result;
+  s_wall_s : float;
+}
+
+type driver = {
+  d_jobs : int;
+  d_sequential_s : float;
+  d_parallel_s : float;
+  d_identical : bool;
+}
+
+type result = {
+  mode : string;
+  scales : scale_row list;
+  driver : driver;
+  checks : Exp_report.check list;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let per_sec count wall = if wall > 0.0 then float_of_int count /. wall else 0.0
+
+(* The driver leg races the same fixed, deterministic renders the [all]
+   command composes; byte-identity of the joined output is the point, the
+   timings are informative (on a single-core host the parallel leg just
+   pays the domain overhead). *)
+let driver_tasks () =
+  [
+    (fun () -> Exp_table1.render (Exp_table1.run ()));
+    (fun () -> Exp_table3.render (Exp_table3.run ()));
+    (fun () -> Exp_figures.render (Exp_figures.run ()));
+  ]
+
+let run ?(quick = false) ?jobs () =
+  let jobs = match jobs with Some j -> max 1 j | None -> Exp_par.default_jobs () in
+  let sizes =
+    if quick then [ Wl_scale.size_8mb; Wl_scale.size_512mb ] else Wl_scale.standard_sizes
+  in
+  let scales =
+    List.map
+      (fun cfg ->
+        let r, wall = timed (fun () -> Wl_scale.run cfg) in
+        { s_result = r; s_wall_s = wall })
+      sizes
+  in
+  let seq_out, seq_s =
+    timed (fun () -> String.concat "\n" (List.map (fun f -> f ()) (driver_tasks ())))
+  in
+  let par_out, par_s = timed (fun () -> Exp_par.concat ~jobs ~sep:"\n" (driver_tasks ())) in
+  let driver =
+    { d_jobs = jobs; d_sequential_s = seq_s; d_parallel_s = par_s; d_identical = seq_out = par_out }
+  in
+  let checks =
+    List.concat_map
+      (fun s ->
+        let r = s.s_result in
+        [
+          Exp_report.check
+            ~what:(Printf.sprintf "%s: frame conservation held" r.Wl_scale.r_name)
+            ~pass:r.Wl_scale.r_conserved
+            ~detail:(Printf.sprintf "%d frames" r.Wl_scale.r_frames);
+          Exp_report.check
+            ~what:(Printf.sprintf "%s: workload exercised every axis" r.Wl_scale.r_name)
+            ~pass:
+              (r.Wl_scale.r_faults > 0 && r.Wl_scale.r_migrated_pages > 0
+             && r.Wl_scale.r_events > 0)
+            ~detail:
+              (Printf.sprintf "%d faults, %d migrated, %d events" r.Wl_scale.r_faults
+                 r.Wl_scale.r_migrated_pages r.Wl_scale.r_events);
+        ])
+      scales
+    @ [
+        Exp_report.check ~what:"event count grows with machine size"
+          ~pass:
+            (let evs = List.map (fun s -> s.s_result.Wl_scale.r_events) scales in
+             List.sort compare evs = evs && List.length (List.sort_uniq compare evs) = List.length evs)
+          ~detail:
+            (String.concat ", "
+               (List.map (fun s -> string_of_int s.s_result.Wl_scale.r_events) scales));
+        Exp_report.check ~what:"parallel driver output byte-identical to sequential"
+          ~pass:driver.d_identical
+          ~detail:(Printf.sprintf "%d job(s)" driver.d_jobs);
+      ]
+  in
+  { mode = (if quick then "quick" else "full"); scales; driver; checks }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mb bytes = float_of_int bytes /. (1024.0 *. 1024.0)
+
+let render r =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "Perf: simulator throughput at scale (%s record, %s mode)\n" schema_version
+       r.mode);
+  Buffer.add_string buf
+    (Exp_report.fmt_table
+       ~header:
+         [ "machine"; "frames"; "faults"; "migrated"; "events"; "wall (s)"; "events/s"; "faults/s" ]
+       ~rows:
+         (List.map
+            (fun s ->
+              let w = s.s_result in
+              [
+                Printf.sprintf "%s (%.0f MB)" w.Wl_scale.r_name (mb w.Wl_scale.r_memory_bytes);
+                string_of_int w.Wl_scale.r_frames;
+                string_of_int w.Wl_scale.r_faults;
+                string_of_int w.Wl_scale.r_migrated_pages;
+                string_of_int w.Wl_scale.r_events;
+                Printf.sprintf "%.2f" s.s_wall_s;
+                Printf.sprintf "%.0f" (per_sec w.Wl_scale.r_events s.s_wall_s);
+                Printf.sprintf "%.0f" (per_sec w.Wl_scale.r_faults s.s_wall_s);
+              ])
+            r.scales));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\nExperiment driver: sequential %.2fs, parallel %.2fs on %d job(s) (outputs %s)\n"
+       r.driver.d_sequential_s r.driver.d_parallel_s r.driver.d_jobs
+       (if r.driver.d_identical then "identical" else "DIFFER"));
+  Buffer.add_string buf "\nShape checks:\n";
+  Buffer.add_string buf (Exp_report.render_checks r.checks);
+  Buffer.contents buf
+
+let to_json r =
+  J.Obj
+    [
+      ("schema", J.Str schema_version);
+      ("mode", J.Str r.mode);
+      ( "scales",
+        J.List
+          (List.map
+             (fun s ->
+               let w = s.s_result in
+               J.Obj
+                 [
+                   ("name", J.Str w.Wl_scale.r_name);
+                   ("memory_bytes", J.Num (float_of_int w.Wl_scale.r_memory_bytes));
+                   ("frames", J.Num (float_of_int w.Wl_scale.r_frames));
+                   ("touches", J.Num (float_of_int w.Wl_scale.r_touches));
+                   ("faults", J.Num (float_of_int w.Wl_scale.r_faults));
+                   ("migrate_calls", J.Num (float_of_int w.Wl_scale.r_migrate_calls));
+                   ("migrated_pages", J.Num (float_of_int w.Wl_scale.r_migrated_pages));
+                   ("events", J.Num (float_of_int w.Wl_scale.r_events));
+                   ("sim_us", J.Num w.Wl_scale.r_sim_us);
+                   ("conserved", J.Bool w.Wl_scale.r_conserved);
+                   ("wall_s", J.Num s.s_wall_s);
+                   ("events_per_s", J.Num (per_sec w.Wl_scale.r_events s.s_wall_s));
+                   ("faults_per_s", J.Num (per_sec w.Wl_scale.r_faults s.s_wall_s));
+                   ( "migrated_pages_per_s",
+                     J.Num (per_sec w.Wl_scale.r_migrated_pages s.s_wall_s) );
+                 ])
+             r.scales) );
+      ( "driver",
+        J.Obj
+          [
+            ("jobs", J.Num (float_of_int r.driver.d_jobs));
+            ("sequential_s", J.Num r.driver.d_sequential_s);
+            ("parallel_s", J.Num r.driver.d_parallel_s);
+            ( "speedup",
+              J.Num
+                (if r.driver.d_parallel_s > 0.0 then
+                   r.driver.d_sequential_s /. r.driver.d_parallel_s
+                 else 0.0) );
+            ("parallel_identical", J.Bool r.driver.d_identical);
+          ] );
+      ( "checks",
+        J.List
+          (List.map
+             (fun (c : Exp_report.check) ->
+               J.Obj
+                 [
+                   ("what", J.Str c.Exp_report.what);
+                   ("pass", J.Bool c.Exp_report.pass);
+                   ("detail", J.Str c.Exp_report.detail);
+                 ])
+             r.checks) );
+    ]
+
+let render_json r = J.to_string ~indent:true (to_json r) ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Schema validation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let validate_json json =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let require what = function Some v -> Ok v | None -> Error ("missing or ill-typed " ^ what) in
+  let* schema = require "schema" (Option.bind (J.member "schema" json) J.to_str) in
+  let* () =
+    if schema = schema_version then Ok ()
+    else Error (Printf.sprintf "schema %S, expected %S" schema schema_version)
+  in
+  let* _mode = require "mode" (Option.bind (J.member "mode" json) J.to_str) in
+  let* scales = require "scales" (Option.bind (J.member "scales" json) J.to_list) in
+  let* () = if List.length scales >= 2 then Ok () else Error "expected at least two scales" in
+  let* () =
+    List.fold_left
+      (fun acc scale ->
+        let* () = acc in
+        let* name = require "scale name" (Option.bind (J.member "name" scale) J.to_str) in
+        let* conserved =
+          require "conserved" (Option.bind (J.member "conserved" scale) J.to_bool)
+        in
+        let* events = require "events" (Option.bind (J.member "events" scale) J.to_float) in
+        let* faults = require "faults" (Option.bind (J.member "faults" scale) J.to_float) in
+        let* wall = require "wall_s" (Option.bind (J.member "wall_s" scale) J.to_float) in
+        if not conserved then Error (name ^ ": frame conservation failed")
+        else if events <= 0.0 || faults <= 0.0 then Error (name ^ ": empty workload")
+        else if wall < 0.0 then Error (name ^ ": negative wall time")
+        else Ok ())
+      (Ok ()) scales
+  in
+  let* drv = require "driver" (J.member "driver" json) in
+  let* identical =
+    require "parallel_identical" (Option.bind (J.member "parallel_identical" drv) J.to_bool)
+  in
+  let* () = if identical then Ok () else Error "parallel driver output differed" in
+  let* jobs = require "driver jobs" (Option.bind (J.member "jobs" drv) J.to_float) in
+  let* () = if jobs >= 1.0 then Ok () else Error "driver jobs < 1" in
+  let* checks = require "checks" (Option.bind (J.member "checks" json) J.to_list) in
+  List.fold_left
+    (fun acc c ->
+      let* () = acc in
+      let* what = require "check what" (Option.bind (J.member "what" c) J.to_str) in
+      let* pass = require "check pass" (Option.bind (J.member "pass" c) J.to_bool) in
+      if pass then Ok () else Error ("failed check: " ^ what))
+    (Ok ()) checks

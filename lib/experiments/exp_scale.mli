@@ -1,0 +1,56 @@
+(** Throughput record (`vpp_repro perf`, [BENCH_perf.json]).
+
+    Runs the {!Wl_scale} workload at increasing machine sizes and measures
+    {e host} wall-clock throughput (simulation events, faults and migrated
+    pages per second), then times the domain-parallel experiment driver
+    ({!Exp_par}) against its sequential equivalent on a fixed task list and
+    checks the joined outputs are byte-identical. Emits a versioned,
+    schema-stable JSON record so perf regressions across PRs are a
+    machine-readable diff, like the [vpp-profile/1] record next to it.
+
+    The simulated side of every run is deterministic; only the [wall_s]
+    and derived per-second fields vary between hosts. Diff two records by
+    comparing the deterministic count fields exactly and the throughput
+    fields as ratios. *)
+
+val schema_version : string
+(** ["vpp-perf/1"]. Bump when the record layout changes. *)
+
+type scale_row = {
+  s_result : Wl_scale.result;
+  s_wall_s : float;  (** Host seconds for the whole run. *)
+}
+
+type driver = {
+  d_jobs : int;  (** Domains the parallel leg used. *)
+  d_sequential_s : float;
+  d_parallel_s : float;
+  d_identical : bool;
+      (** The parallel driver's joined output was byte-identical to the
+          sequential one. *)
+}
+
+type result = {
+  mode : string;  (** ["full"] or ["quick"]. *)
+  scales : scale_row list;
+  driver : driver;
+  checks : Exp_report.check list;
+}
+
+val run : ?quick:bool -> ?jobs:int -> unit -> result
+(** [quick] drops the largest machine size (CI smoke); [jobs] sets the
+    parallel driver leg's domain count (default
+    [Exp_par.default_jobs ()]). *)
+
+val render : result -> string
+
+val to_json : result -> Sim_json.t
+
+val render_json : result -> string
+(** [to_json] printed stably (two-space indent, trailing newline). *)
+
+val validate_json : Sim_json.t -> (unit, string) Stdlib.result
+(** Structural schema check used by the perf-smoke rule: version string,
+    at least two scales with positive deterministic counts and frame
+    conservation, a driver leg whose parallel output matched, and all
+    embedded shape checks passing. *)

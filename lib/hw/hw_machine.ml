@@ -25,10 +25,15 @@ let create ?(preset = Decstation_5000_200) ?(memory_bytes = 16 * 1024 * 1024)
   let metrics = Sim_metrics.create () in
   let disk = Hw_disk.create engine ?params:disk_params () in
   Hw_disk.set_metrics disk (Some metrics);
+  let mem = Hw_phys_mem.create ~n_colors ~page_size ~total_bytes:memory_bytes () in
+  (* The mapping hash is sized to physical memory, like the inverted /
+     hashed page tables it models (one entry per frame, 64K minimum so
+     every paper-scale machine keeps the historical geometry). *)
+  let pt_slots = max 65536 (Hw_phys_mem.n_frames mem) in
   {
     engine;
-    mem = Hw_phys_mem.create ~n_colors ~page_size ~total_bytes:memory_bytes ();
-    page_table = Hw_page_table.create ();
+    mem;
+    page_table = Hw_page_table.create ~slots:pt_slots ();
     tlb = Hw_tlb.create ();
     disk;
     cost;
@@ -50,4 +55,5 @@ let observe t ~kind us = Sim_metrics.observe t.metrics ~kind us
 let metrics t = t.metrics
 let set_profiling t on = Sim_metrics.set_enabled t.metrics on
 let now t = Engine.now t.engine
-let trace_emit t ~tag detail = Trace.emit t.trace ~time:(Engine.now t.engine) ~tag detail
+let trace_emit t ~tag detail =
+  if Trace.enabled t.trace then Trace.emit t.trace ~time:(Engine.now t.engine) ~tag (detail ())

@@ -54,4 +54,9 @@ val set_profiling : t -> bool -> unit
     behaviour of all instrumented paths. *)
 
 val now : t -> float
-val trace_emit : t -> tag:string -> string -> unit
+
+val trace_emit : t -> tag:string -> (unit -> string) -> unit
+(** Append a protocol-trace event. The detail thunk is forced only when
+    the trace is enabled, so emit sites on kernel hot paths cost one
+    branch and one closure — not a formatted string — when tracing is
+    off (the default). *)

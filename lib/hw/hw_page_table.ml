@@ -28,15 +28,29 @@ let slot_of t ~space ~vpn =
 
 let matches e ~space ~vpn = e.space = space && e.vpn = vpn
 
+(* The overflow array is scanned with plain loops: these run inside every
+   insert/remove on the kernel fault path, so they must not allocate
+   (closures included). *)
+
 let overflow_insert t e =
-  if Array.length t.overflow > 0 then begin
+  let n = Array.length t.overflow in
+  if n > 0 then begin
     (* Prefer an empty slot; otherwise evict round-robin. *)
     let empty = ref (-1) in
-    Array.iteri (fun i o -> if o = None && !empty < 0 then empty := i) t.overflow;
+    for i = 0 to n - 1 do
+      if t.overflow.(i) = None && !empty < 0 then empty := i
+    done;
     let i = if !empty >= 0 then !empty else t.overflow_next in
-    if !empty < 0 then t.overflow_next <- (t.overflow_next + 1) mod Array.length t.overflow;
+    if !empty < 0 then t.overflow_next <- (t.overflow_next + 1) mod n;
     t.overflow.(i) <- Some e
   end
+
+let overflow_drop t ~space ~vpn =
+  for j = 0 to Array.length t.overflow - 1 do
+    match t.overflow.(j) with
+    | Some oe when matches oe ~space ~vpn -> t.overflow.(j) <- None
+    | Some _ | None -> ()
+  done
 
 let insert t ~space ~vpn ~frame ~prot =
   let i = slot_of t ~space ~vpn in
@@ -47,12 +61,7 @@ let insert t ~space ~vpn ~frame ~prot =
       overflow_insert t old
   | Some _ | None -> ());
   (* Remove any stale overflow copy of this key. *)
-  Array.iteri
-    (fun j o ->
-      match o with
-      | Some oe when matches oe ~space ~vpn -> t.overflow.(j) <- None
-      | Some _ | None -> ())
-    t.overflow;
+  overflow_drop t ~space ~vpn;
   t.slots.(i) <- Some e
 
 let lookup t ~space ~vpn =
@@ -61,33 +70,26 @@ let lookup t ~space ~vpn =
   | Some e when matches e ~space ~vpn ->
       t.hits <- t.hits + 1;
       Some (e.frame, e.prot)
-  | _ -> (
-      let found = ref None in
-      Array.iter
-        (fun o ->
-          match o with
-          | Some e when matches e ~space ~vpn && !found = None -> found := Some (e.frame, e.prot)
-          | Some _ | None -> ())
-        t.overflow;
-      match !found with
-      | Some r ->
-          t.hits <- t.hits + 1;
-          Some r
-      | None ->
-          t.misses <- t.misses + 1;
-          None)
+  | _ ->
+      let n = Array.length t.overflow in
+      let j = ref 0 and found = ref None in
+      while !found = None && !j < n do
+        (match t.overflow.(!j) with
+        | Some e when matches e ~space ~vpn -> found := Some (e.frame, e.prot)
+        | Some _ | None -> ());
+        incr j
+      done;
+      (match !found with
+      | Some _ -> t.hits <- t.hits + 1
+      | None -> t.misses <- t.misses + 1);
+      !found
 
 let remove t ~space ~vpn =
   let i = slot_of t ~space ~vpn in
   (match t.slots.(i) with
   | Some e when matches e ~space ~vpn -> t.slots.(i) <- None
   | Some _ | None -> ());
-  Array.iteri
-    (fun j o ->
-      match o with
-      | Some e when matches e ~space ~vpn -> t.overflow.(j) <- None
-      | Some _ | None -> ())
-    t.overflow
+  overflow_drop t ~space ~vpn
 
 let remove_space t ~space =
   Array.iteri
@@ -97,6 +99,7 @@ let remove_space t ~space =
     (fun i o -> match o with Some e when e.space = space -> t.overflow.(i) <- None | _ -> ())
     t.overflow
 
+let capacity t = Array.length t.slots
 let hits t = t.hits
 let misses t = t.misses
 let collisions t = t.collisions

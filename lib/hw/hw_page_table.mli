@@ -28,6 +28,11 @@ val remove : t -> space:int -> vpn:int -> unit
 val remove_space : t -> space:int -> unit
 (** Drop all translations of one address space (space teardown). *)
 
+val capacity : t -> int
+(** Direct-mapped slot count ([slots] at {!create}). {!Hw_machine.create}
+    sizes this to the physical frame count above the 64K default so warm
+    scans of a large machine stay hash hits. *)
+
 val hits : t -> int
 val misses : t -> int
 val collisions : t -> int

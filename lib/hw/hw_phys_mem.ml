@@ -6,7 +6,14 @@ type frame = {
   mutable owner : int;
 }
 
-type t = { page_size : int; n_colors : int; frames : frame array }
+type t = {
+  page_size : int;
+  n_colors : int;
+  frames : frame array;
+  (* Frame indices per color, ascending — precomputed once so color
+     queries never rescan the frame array. *)
+  by_color : int array array;
+}
 
 let create ?(n_colors = 16) ~page_size ~total_bytes () =
   if page_size <= 0 then invalid_arg "Hw_phys_mem.create: page_size must be positive";
@@ -23,7 +30,12 @@ let create ?(n_colors = 16) ~page_size ~total_bytes () =
           owner = -1;
         })
   in
-  { page_size; n_colors; frames }
+  let by_color =
+    Array.init n_colors (fun c ->
+        if c >= n then [||]
+        else Array.init (((n - 1 - c) / n_colors) + 1) (fun j -> c + (j * n_colors)))
+  in
+  { page_size; n_colors; frames; by_color }
 
 let page_size t = t.page_size
 let n_frames t = Array.length t.frames
@@ -35,13 +47,23 @@ let frame t i =
   t.frames.(i)
 
 let frames_of_color t color =
-  Array.to_list t.frames
-  |> List.filter_map (fun f -> if f.color = color then Some f.index else None)
+  if color < 0 || color >= t.n_colors then []
+  else Array.fold_right (fun i acc -> i :: acc) t.by_color.(color) []
 
+(* Frames are laid out contiguously (addr = index * page_size), so an
+   address interval is an index interval: no scan, no intermediate list. *)
 let frames_in_range t ~lo_addr ~hi_addr =
-  Array.to_list t.frames
-  |> List.filter_map (fun f ->
-         if f.addr >= lo_addr && f.addr < hi_addr then Some f.index else None)
+  let n = Array.length t.frames in
+  if hi_addr <= 0 || hi_addr <= lo_addr then []
+  else begin
+    let lo = if lo_addr <= 0 then 0 else (lo_addr + t.page_size - 1) / t.page_size in
+    let hi = min (n - 1) ((hi_addr - 1) / t.page_size) in
+    let acc = ref [] in
+    for i = hi downto lo do
+      acc := i :: !acc
+    done;
+    !acc
+  end
 
 let zero_frame t i = (frame t i).data <- Hw_page_data.Zero
 

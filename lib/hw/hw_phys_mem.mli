@@ -28,10 +28,13 @@ val frame : t -> int -> frame
 (** Raises [Invalid_argument] for an out-of-range index. *)
 
 val frames_of_color : t -> int -> int list
-(** Frame indices with the given color, ascending. *)
+(** Frame indices with the given color, ascending. Served from a per-color
+    index precomputed at {!create}: O(result), no frame-array scan. *)
 
 val frames_in_range : t -> lo_addr:int -> hi_addr:int -> int list
-(** Frame indices whose physical address lies in [lo_addr, hi_addr). *)
+(** Frame indices whose physical address lies in [lo_addr, hi_addr).
+    Frames are contiguous, so the interval maps to index arithmetic:
+    O(result), no frame-array scan. *)
 
 val zero_frame : t -> int -> unit
 val copy_frame : t -> src:int -> dst:int -> unit

@@ -53,7 +53,7 @@ type stats = {
 
 type seg_info = { kind : seg_kind; mutable high_water : int }
 
-type clock_entry = { ce_seg : Seg.id; ce_page : int }
+type clock_entry = { ce_seg : Seg.id; ce_page : int; mutable ce_dead : bool }
 
 type t = {
   kern : K.t;
@@ -68,6 +68,12 @@ type t = {
   segs : (Seg.id, seg_info) Hashtbl.t;
   mutable ring : clock_entry list;  (* newest first; rebuilt lazily *)
   mutable hand : clock_entry list;  (* suffix of the scan order *)
+  (* Entries whose page lost its frame are tombstoned (ce_dead) rather
+     than filtered out on the spot — an eager List.filter per stale entry
+     is O(ring), which goes quadratic under churn. The ring compacts once
+     tombstones outnumber live entries, so removal is amortised O(1). *)
+  mutable ring_len : int;  (* entries in [ring], live and dead *)
+  mutable ring_dead : int;  (* tombstones still in [ring] *)
   counters : Sim_stats.Counters.t option;
   stats : stats;
   (* A manager serves one fault at a time, like the request loop of a real
@@ -204,11 +210,19 @@ let reclaim t ~count =
     | entry :: rest -> (
         t.hand <- rest;
         if Mgr_free_pages.room t.pool = 0 then stop := true
+        else if entry.ce_dead then ()
         else
           match evict_one t entry with
           | `Evicted -> incr reclaimed
           | `Skip -> ()
-          | `Gone -> t.ring <- List.filter (fun e -> e != entry) t.ring)
+          | `Gone ->
+              entry.ce_dead <- true;
+              t.ring_dead <- t.ring_dead + 1;
+              if t.ring_dead * 2 > t.ring_len then begin
+                t.ring <- List.filter (fun e -> not e.ce_dead) t.ring;
+                t.ring_len <- List.length t.ring;
+                t.ring_dead <- 0
+              end)
   done;
   !reclaimed
 
@@ -228,7 +242,9 @@ let ensure_pool t ~count =
 (* Fault handling                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let track t seg page = t.ring <- { ce_seg = seg; ce_page = page } :: t.ring
+let track t seg page =
+  t.ring <- { ce_seg = seg; ce_page = page; ce_dead = false } :: t.ring;
+  t.ring_len <- t.ring_len + 1
 
 let handle_missing t (fault : Mgr.fault) =
   let inf = info t fault.Mgr.f_seg in
@@ -262,22 +278,22 @@ let handle_missing t (fault : Mgr.fault) =
     in
     match filled with
     | Some data ->
-        Hw_machine.trace_emit machine ~tag:"step2.request_data"
-          (Printf.sprintf "seg %d page %d" fault.Mgr.f_seg fault.Mgr.f_page);
+        Hw_machine.trace_emit machine ~tag:"step2.request_data" (fun () ->
+            Printf.sprintf "seg %d page %d" fault.Mgr.f_seg fault.Mgr.f_page);
         Mgr_free_pages.set_next_data t.pool data;
-        Hw_machine.trace_emit machine ~tag:"step3.data_reply"
-          (Printf.sprintf "seg %d page %d" fault.Mgr.f_seg fault.Mgr.f_page);
+        Hw_machine.trace_emit machine ~tag:"step3.data_reply" (fun () ->
+            Printf.sprintf "seg %d page %d" fault.Mgr.f_seg fault.Mgr.f_page);
         (* Copying the arrived data into the allocated frame. *)
         Hw_machine.charge ~label:"mgr/copy_page" machine
           machine.Hw_machine.cost.Hw_cost.copy_page
     | None ->
-        Hw_machine.trace_emit machine ~tag:"step2-3.local_fill"
-          (Printf.sprintf "seg %d page %d" fault.Mgr.f_seg fault.Mgr.f_page)
+        Hw_machine.trace_emit machine ~tag:"step2-3.local_fill" (fun () ->
+            Printf.sprintf "seg %d page %d" fault.Mgr.f_seg fault.Mgr.f_page)
   end
   else
-    Hw_machine.trace_emit machine ~tag:"step2-3.local_fill"
-      (Printf.sprintf "seg %d pages %d..%d (append batch)" fault.Mgr.f_seg fault.Mgr.f_page
-         (fault.Mgr.f_page + batch - 1));
+    Hw_machine.trace_emit machine ~tag:"step2-3.local_fill" (fun () ->
+        Printf.sprintf "seg %d pages %d..%d (append batch)" fault.Mgr.f_seg fault.Mgr.f_page
+          (fault.Mgr.f_page + batch - 1));
   let moved =
     Mgr_free_pages.take_to t.pool ~dst:fault.Mgr.f_seg ~dst_page:fault.Mgr.f_page ~count:batch
       ~clear_flags:(Flags.of_list [ Flags.dirty; Flags.no_access; Flags.read_only ])
@@ -371,7 +387,9 @@ let on_close t seg =
             end
       done);
   Hashtbl.remove t.segs seg;
-  t.ring <- List.filter (fun e -> e.ce_seg <> seg) t.ring;
+  t.ring <- List.filter (fun e -> (not e.ce_dead) && e.ce_seg <> seg) t.ring;
+  t.ring_len <- List.length t.ring;
+  t.ring_dead <- 0;
   t.hand <- List.filter (fun e -> e.ce_seg <> seg) t.hand
 
 let return_to_system t ~pages =
@@ -427,6 +445,8 @@ let create kern ~name ~mode ~backing ?source ?hooks ?(pool_capacity = 1024) ?(re
       segs = Hashtbl.create 16;
       ring = [];
       hand = [];
+      ring_len = 0;
+      ring_dead = 0;
       counters;
       stats = fresh_stats ();
       serving = Sim_sync.Semaphore.create 1;

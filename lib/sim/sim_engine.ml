@@ -6,20 +6,24 @@ type t = {
   mutable seq : int;
   mutable live : int;
   mutable executed : int;
+  mutable horizon : float option;  (* [run ~until] limit, while running *)
 }
 
 type _ Effect.t +=
   | E_delay : (t * float) -> unit Effect.t
-  | E_time : t -> float Effect.t
   | E_suspend : (t * (('a -> unit) -> unit)) -> 'a Effect.t
   | E_fork : (t * string * (unit -> unit)) -> unit Effect.t
 
 (* The engine a process belongs to is threaded through the effects
-   themselves; [current] lets the zero-argument public API find it. It is a
-   plain ref, not domain-local: simulations are single-domain. *)
-let current : t option ref = ref None
+   themselves; [current] lets the zero-argument public API find it. It is
+   domain-local state: each simulation runs entirely on one domain, and
+   independent simulations may run on different domains concurrently (the
+   --jobs experiment driver), so the "engine being run here" must not be
+   shared across domains. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let create () = { clock = 0.0; heap = Sim_heap.create (); seq = 0; live = 0; executed = 0 }
+let create () =
+  { clock = 0.0; heap = Sim_heap.create (); seq = 0; live = 0; executed = 0; horizon = None }
 
 let now t = t.clock
 
@@ -45,7 +49,6 @@ let rec start_process t _name body =
               Some
                 (fun (k : (a, unit) continuation) ->
                   schedule eng ~at:(eng.clock +. Stdlib.max 0.0 d) (fun () -> continue k ()))
-          | E_time eng -> Some (fun (k : (a, unit) continuation) -> continue k eng.clock)
           | E_suspend (eng, register) ->
               Some
                 (fun (k : (a, unit) continuation) ->
@@ -65,10 +68,14 @@ let rec start_process t _name body =
 let spawn t ?(name = "proc") body = schedule t ~at:t.clock (fun () -> start_process t name body)
 
 let run ?until t =
-  let saved = !current in
-  current := Some t;
+  let saved = Domain.DLS.get current in
+  let saved_horizon = t.horizon in
+  Domain.DLS.set current (Some t);
+  t.horizon <- until;
   Fun.protect
-    ~finally:(fun () -> current := saved)
+    ~finally:(fun () ->
+      Domain.DLS.set current saved;
+      t.horizon <- saved_horizon)
     (fun () ->
       let continue_loop = ref true in
       while !continue_loop do
@@ -92,9 +99,29 @@ let live_processes t = t.live
 let events_executed t = t.executed
 
 let engine_of_process () =
-  match !current with None -> raise Not_in_process | Some t -> t
+  match Domain.DLS.get current with None -> raise Not_in_process | Some t -> t
 
-let delay d = Effect.perform (E_delay (engine_of_process (), d))
-let time () = Effect.perform (E_time (engine_of_process ()))
+(* Fast path: a delay is semantically "resume me at [target], after any
+   event already due at or before it". When no such event is pending (and
+   the run horizon is not crossed), nothing can interleave — no other
+   process can become runnable in the meantime, because only the running
+   process schedules — so the clock advances inline, skipping the
+   continuation capture and two heap operations. The logical event still
+   happened, so [executed] counts it: event counts and all interleavings
+   are identical to the unconditionally-scheduled implementation. *)
+let delay d =
+  let t = engine_of_process () in
+  let target = t.clock +. Stdlib.max 0.0 d in
+  let within_horizon = match t.horizon with None -> true | Some limit -> target <= limit in
+  let none_earlier =
+    match Sim_heap.peek_time t.heap with None -> true | Some due -> due > target
+  in
+  if within_horizon && none_earlier then begin
+    t.clock <- target;
+    t.executed <- t.executed + 1
+  end
+  else Effect.perform (E_delay (t, d))
+
+let time () = (engine_of_process ()).clock
 let suspend register = Effect.perform (E_suspend (engine_of_process (), register))
 let fork ?(name = "proc") f = Effect.perform (E_fork (engine_of_process (), name, f))

@@ -6,7 +6,12 @@
     {e microseconds} throughout this repository.
 
     Events scheduled for the same instant fire in scheduling order, so a
-    simulation is a deterministic function of its inputs and RNG seeds. *)
+    simulation is a deterministic function of its inputs and RNG seeds.
+
+    A simulation runs entirely on one domain, but the "current engine"
+    needed by the zero-argument process API is domain-local, so independent
+    engines can run concurrently on separate domains (the [--jobs]
+    experiment driver) without interfering. *)
 
 type t
 

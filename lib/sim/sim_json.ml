@@ -238,3 +238,4 @@ let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
 let to_list = function List items -> Some items | _ -> None
 let to_float = function Num v -> Some v | _ -> None
 let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None

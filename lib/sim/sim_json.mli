@@ -31,3 +31,4 @@ val member : string -> t -> t option
 val to_list : t -> t list option
 val to_float : t -> float option
 val to_str : t -> string option
+val to_bool : t -> bool option

@@ -1,0 +1,140 @@
+module K = Epcm_kernel
+module Seg = Epcm_segment
+module Mgr = Epcm_manager
+module G = Mgr_generic
+module Engine = Sim_engine
+
+type config = {
+  c_name : string;
+  c_memory_bytes : int;
+  c_page_size : int;
+}
+
+type result = {
+  r_name : string;
+  r_memory_bytes : int;
+  r_frames : int;
+  r_touches : int;
+  r_faults : int;
+  r_migrate_calls : int;
+  r_migrated_pages : int;
+  r_events : int;
+  r_sim_us : float;
+  r_conserved : bool;
+}
+
+let config ~name ~memory_bytes = { c_name = name; c_memory_bytes = memory_bytes; c_page_size = 4096 }
+
+let size_8mb = config ~name:"8mb" ~memory_bytes:(8 * 1024 * 1024)
+let size_512mb = config ~name:"512mb" ~memory_bytes:(512 * 1024 * 1024)
+let size_4gb = config ~name:"4gb" ~memory_bytes:(4 * 1024 * 1024 * 1024)
+let standard_sizes = [ size_8mb; size_512mb; size_4gb ]
+
+(* The experiment-harness SPCM stand-in: grant frames straight out of the
+   initial segment, scanning it monotonically (O(frames) across the whole
+   run, not per call). [budget] caps total grants so the churn phase runs
+   under genuine memory pressure at every machine size. *)
+let capped_source kernel ~budget =
+  let init = K.initial_segment kernel in
+  let next = ref 0 in
+  let granted_total = ref 0 in
+  fun ~dst ~dst_page ~count ->
+    let init_seg = K.segment kernel init in
+    let count = min count (max 0 (budget - !granted_total)) in
+    let granted = ref 0 in
+    while !granted < count && !next < Seg.length init_seg do
+      (if (Seg.page init_seg !next).Seg.frame <> None then begin
+         K.migrate_pages kernel ~src:init ~dst ~src_page:!next ~dst_page:(dst_page + !granted)
+           ~count:1 ();
+         incr granted
+       end);
+      incr next
+    done;
+    granted_total := !granted_total + !granted;
+    !granted
+
+let run cfg =
+  let machine = Hw_machine.create ~memory_bytes:cfg.c_memory_bytes ~page_size:cfg.c_page_size () in
+  let kernel = K.create machine in
+  let frames = Hw_machine.n_frames machine in
+  (* Working set: half of memory demand-paged, an eighth churned under
+     pressure, migrate ping-pong over a quarter. All sizes scale linearly
+     with the machine so ops/sec is comparable across sizes. *)
+  let seg_pages = max 16 (frames / 2) in
+  let churn_pages = max 16 (frames / 8) in
+  let churn_budget = max 12 (churn_pages * 3 / 4) in
+  let migrate_batch = 64 in
+  let backing = Mgr_backing.memory () in
+  (* Phase A/B manager: ample frames — pure demand-paging cost. *)
+  let pager =
+    G.create kernel ~name:"scale-pager" ~mode:`In_process ~backing
+      ~source:(capped_source kernel ~budget:(seg_pages + (migrate_batch * 2)))
+      ~pool_capacity:(seg_pages + (migrate_batch * 2))
+      ~refill_batch:256 ()
+  in
+  let seg = G.create_segment pager ~name:"scale-heap" ~pages:seg_pages ~kind:G.Anon () in
+  (* Migrate target: unmanaged staging segment, same page size. *)
+  let stage = K.create_segment kernel ~name:"scale-stage" ~pages:migrate_batch () in
+  (* Churn manager: capped source, small pool — touching more pages than
+     the budget forces clock reclaim and writeback at every size. *)
+  let churn_backing = Mgr_backing.memory () in
+  let churner =
+    G.create kernel ~name:"scale-churner" ~mode:`In_process ~backing:churn_backing
+      ~source:(capped_source kernel ~budget:churn_budget)
+      ~pool_capacity:churn_budget ~refill_batch:64 ~reclaim_batch:32 ()
+  in
+  let churn =
+    G.create_segment churner ~name:"scale-churn" ~pages:churn_pages
+      ~kind:(G.File { file_id = 11 }) ~high_water:churn_pages ()
+  in
+  Engine.spawn machine.Hw_machine.engine (fun () ->
+      (* Phase A: cold write-touch every page — missing faults, pool
+         refills, frame migrations out of the initial segment. *)
+      for page = 0 to seg_pages - 1 do
+        K.touch kernel ~space:seg ~page ~access:Mgr.Write
+      done;
+      (* Phase B: two warm scans — the translation fast path. *)
+      for _ = 1 to 2 do
+        for page = 0 to seg_pages - 1 do
+          K.touch kernel ~space:seg ~page ~access:Mgr.Read
+        done
+      done;
+      (* Phase C: batch migrate ping-pong over the first quarter of the
+         heap — the MigratePages throughput axis. *)
+      let windows = max 1 (seg_pages / 4 / migrate_batch) in
+      for w = 0 to windows - 1 do
+        let base = w * migrate_batch in
+        K.migrate_pages kernel ~src:seg ~dst:stage ~src_page:base ~dst_page:0
+          ~count:migrate_batch ();
+        K.migrate_pages kernel ~src:stage ~dst:seg ~src_page:0 ~dst_page:base
+          ~count:migrate_batch ()
+      done;
+      (* Phase D: churn under pressure — more pages than the frame budget,
+         two rounds of mixed reads and writes, forcing eviction and
+         writeback through the manager's clock. *)
+      for round = 0 to 1 do
+        for page = 0 to churn_pages - 1 do
+          let access = if (page + round) mod 2 = 0 then Mgr.Write else Mgr.Read in
+          K.touch kernel ~space:churn ~page ~access
+        done
+      done);
+  Engine.run machine.Hw_machine.engine;
+  let stats = K.stats kernel in
+  let faults =
+    stats.K.faults_missing + stats.K.faults_protection + stats.K.faults_cow
+  in
+  {
+    r_name = cfg.c_name;
+    r_memory_bytes = cfg.c_memory_bytes;
+    r_frames = frames;
+    r_touches = stats.K.touches;
+    r_faults = faults;
+    r_migrate_calls = stats.K.migrate_calls;
+    r_migrated_pages = stats.K.migrated_pages;
+    r_events = Engine.events_executed machine.Hw_machine.engine;
+    r_sim_us = Hw_machine.now machine;
+    r_conserved =
+      K.frame_owner_total kernel = frames
+      && K.frame_owner_audit kernel = K.frame_owner_audit_scan kernel
+      && Engine.live_processes machine.Hw_machine.engine = 0;
+  }

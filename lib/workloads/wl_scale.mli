@@ -1,0 +1,51 @@
+(** Scalable synthetic workload for the perf record (`vpp_repro perf`).
+
+    A deterministic paging + migration workload whose working set scales
+    linearly with the simulated machine size, so kernel-operation
+    throughput (events/sec, faults/sec, migrates/sec of {e real} time) is
+    comparable across sizes and across PRs. Four phases:
+
+    - cold demand-paging of half of memory (missing faults, pool refills),
+    - two warm scans (translation fast path),
+    - batch [MigratePages] ping-pong over a quarter of the heap,
+    - a churn phase with more pages than its frame budget, forcing clock
+      reclaim, eviction and writeback.
+
+    No randomness, no wall-clock: rerunning a config reproduces identical
+    counts and simulated time; only the host's elapsed time (measured by
+    {!Exp_scale}) varies. *)
+
+type config = {
+  c_name : string;
+  c_memory_bytes : int;
+  c_page_size : int;
+}
+
+type result = {
+  r_name : string;
+  r_memory_bytes : int;
+  r_frames : int;
+  r_touches : int;  (** Memory references issued. *)
+  r_faults : int;  (** Missing + protection + cow faults delivered. *)
+  r_migrate_calls : int;
+  r_migrated_pages : int;
+  r_events : int;  (** Simulation-engine events executed. *)
+  r_sim_us : float;  (** Final simulated clock. *)
+  r_conserved : bool;
+      (** Frame conservation held, the incremental owner audit matched the
+          scan-based one, and no process deadlocked. *)
+}
+
+val config : name:string -> memory_bytes:int -> config
+(** 4 KB pages. *)
+
+val size_8mb : config
+(** The 1992 scale: 8 MB, 2K frames. *)
+
+val size_512mb : config
+val size_4gb : config
+
+val standard_sizes : config list
+(** [8 MB; 512 MB; 4 GB] — the three sizes the perf record reports. *)
+
+val run : config -> result

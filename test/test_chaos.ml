@@ -17,6 +17,16 @@ module Counters = Sim_stats.Counters
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+(* Conservation after a storm, checked both ways: the frame total, and the
+   incremental O(segments) owner audit against the fold-based page-array
+   scan. A storm is the counter's worst case — every abandoned fill or
+   writeback is a map/unmap the counter must have tracked exactly. *)
+let check_conserved ?(what = "frame conservation") machine kernel =
+  check_int what (Machine.n_frames machine) (K.frame_owner_total kernel);
+  Alcotest.(check (list (pair int int)))
+    (what ^ ": incremental audit = scan audit")
+    (K.frame_owner_audit_scan kernel) (K.frame_owner_audit kernel)
+
 (* One disk read of a 4096-byte page costs seek + half rotation + transfer
    = 12 000 + 4 150 + 4 × 666 = 18 814 µs, so an outage window of
    [0, 20 000) fails exactly the first attempt and lets the first retry
@@ -155,7 +165,7 @@ let generic_storm ~seed =
 let test_generic_storm () =
   let machine, kernel, g, chaos, _counters, _fails, seg = generic_storm ~seed:11L in
   (* No frame leaks, however many fills and writebacks were abandoned. *)
-  check_int "frame conservation" (Machine.n_frames machine) (K.frame_owner_total kernel);
+  check_conserved machine kernel;
   check_bool "the storm actually stormed" true (Chaos.injected_failures chaos > 0);
   (* Bounded retries: the device never saw more attempts per logical
      operation than the budget allows. *)
@@ -174,8 +184,7 @@ let test_generic_storm () =
   Engine.run machine.Machine.engine;
   check_int "all pages reachable after recovery" 64 !survivors;
   check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine);
-  check_int "frame conservation after recovery" (Machine.n_frames machine)
-    (K.frame_owner_total kernel)
+  check_conserved ~what:"frame conservation after recovery" machine kernel
 
 let test_generic_storm_replay () =
   let observe seed =
@@ -222,7 +231,7 @@ let test_prefetch_degrades () =
       done);
   Engine.run machine.Machine.engine;
   Hw_disk.set_chaos machine.Machine.disk None;
-  check_int "frame conservation" (Machine.n_frames machine) (K.frame_owner_total kernel);
+  check_conserved machine kernel;
   check_int "no wedged waiters" 0 (Engine.live_processes machine.Machine.engine);
   (* With a 20% error rate over 32 prefetched pages some forked fill died
      (seed-pinned), and every such page was served by degradation instead
@@ -310,7 +319,7 @@ let test_checkpoint_durable_loss () =
   check_bool "durability losses counted" true (Mgr_checkpoint.durable_failures c > 0);
   check_bool "most images made it" true
     (Mgr_checkpoint.durable_writes c > Mgr_checkpoint.durable_failures c);
-  check_int "frame conservation" (Machine.n_frames machine) (K.frame_owner_total kernel);
+  check_conserved machine kernel;
   check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine)
 
 (* ------------------------------------------------------------------ *)
@@ -359,7 +368,7 @@ let test_coloring_traffic_storm () =
   check_bool "the storm faulted pages in" true (total > 0);
   check_int "no color misses with a cooperative SPCM" 0 (Mgr_coloring.color_misses mgr);
   check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine);
-  check_int "frame conservation" (Machine.n_frames machine) (K.frame_owner_total kernel)
+  check_conserved machine kernel
 
 (* ------------------------------------------------------------------ *)
 (* Mgr_compressed: spill writes and disk re-fills under a write storm  *)
@@ -401,7 +410,7 @@ let test_compressed_spill_storm () =
   check_bool "the storm actually stormed" true (Chaos.injected_failures chaos > 0);
   check_bool "evictions compressed" true (Mgr_compressed.compressions mgr > 0);
   check_bool "budget overflow spilled to disk" true (Mgr_compressed.spills mgr > 0);
-  check_int "frame conservation" (Machine.n_frames machine) (K.frame_owner_total kernel);
+  check_conserved machine kernel;
   check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine);
   (* Recovery: with the plan detached the whole segment is reachable. *)
   let ok = ref 0 in
@@ -412,8 +421,7 @@ let test_compressed_spill_storm () =
       done);
   Engine.run machine.Machine.engine;
   check_int "all pages reachable after recovery" 32 !ok;
-  check_int "frame conservation after recovery" (Machine.n_frames machine)
-    (K.frame_owner_total kernel)
+  check_conserved ~what:"frame conservation after recovery" machine kernel
 
 (* ------------------------------------------------------------------ *)
 (* Mgr_dsm: seeded coherence storm, protocol invariants + conservation *)
@@ -458,7 +466,7 @@ let test_dsm_coherence_storm () =
   check_bool "the storm shipped copies" true (Mgr_dsm.transfers dsm > 0);
   check_bool "writes invalidated copies" true (Mgr_dsm.invalidations dsm > 0);
   check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine);
-  check_int "frame conservation" (Machine.n_frames machine) (K.frame_owner_total kernel)
+  check_conserved machine kernel
 
 let test_dsm_storm_replay () =
   let observe seed =
@@ -512,7 +520,7 @@ let test_gc_discard_storm () =
   check_bool "some conventional evictions still landed" true (!conventional_reclaimed > 0);
   (* A failed writeback must leave the page resident and owned — frames
      conserved either way. *)
-  check_int "frame conservation" (Machine.n_frames machine) (K.frame_owner_total kernel);
+  check_conserved machine kernel;
   check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine)
 
 (* ------------------------------------------------------------------ *)
@@ -545,7 +553,7 @@ let test_dbms_index_paging_storm () =
   check_bool "index resident after recovery" true (Mgr_dbms.index_resident mgr idx);
   check_int "all index pages resident" 16 (Mgr_dbms.resident_index_pages mgr);
   check_bool "page-in events counted" true (Mgr_dbms.page_in_events mgr > 0);
-  check_int "frame conservation" (Machine.n_frames machine) (K.frame_owner_total kernel);
+  check_conserved machine kernel;
   check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine)
 
 (* ------------------------------------------------------------------ *)

@@ -55,6 +55,91 @@ let test_ablations_hold () =
         (List.length a.Exp_ablations.rows >= 2))
     (Exp_ablations.run_all ())
 
+(* ------------------------------------------------------------------ *)
+(* Exp_par: the domain-parallel driver                                *)
+(* ------------------------------------------------------------------ *)
+
+(* In-order join is the driver's whole contract: however completion
+   interleaves across domains, results come back in input order, so
+   [concat] is byte-identical to a sequential String.concat. *)
+let test_par_in_order_join () =
+  let tasks n = List.init n (fun i () -> Printf.sprintf "task-%02d" i) in
+  List.iter
+    (fun jobs ->
+      let n = 13 in
+      Alcotest.(check (list string))
+        (Printf.sprintf "map ~jobs:%d preserves input order" jobs)
+        (List.map (fun f -> f ()) (tasks n))
+        (Exp_par.map ~jobs (tasks n));
+      Alcotest.(check string)
+        (Printf.sprintf "concat ~jobs:%d = sequential concat" jobs)
+        (String.concat "|" (List.map (fun f -> f ()) (tasks n)))
+        (Exp_par.concat ~jobs ~sep:"|" (tasks n)))
+    [ 1; 2; 4; 32 ];
+  Alcotest.(check (list string)) "empty task list" [] (Exp_par.map ~jobs:4 [])
+
+(* A task exception must surface after the join, not vanish with its
+   domain — a silently dropped ablation would look like success. *)
+let test_par_reraises () =
+  List.iter
+    (fun jobs ->
+      match
+        Exp_par.map ~jobs
+          [ (fun () -> "ok"); (fun () -> failwith "task exploded"); (fun () -> "also ok") ]
+      with
+      | _ -> Alcotest.failf "jobs=%d: expected the task's exception" jobs
+      | exception Failure msg ->
+          Alcotest.(check string) "original exception" "task exploded" msg)
+    [ 1; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Exp_scale: the vpp-perf/1 record                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One quick record shared by the validation cases below: the run itself
+   (two machine sizes plus the timed driver legs) costs a few seconds. *)
+let quick_record = lazy (Exp_scale.run ~quick:true ~jobs:2 ())
+
+let test_perf_record_quick () =
+  let r = Lazy.force quick_record in
+  assert_all_pass r.Exp_scale.checks;
+  check_bool "parallel driver output identical" true r.Exp_scale.driver.Exp_scale.d_identical;
+  (* The record validates both as the in-memory tree and after a print →
+     parse round-trip, which is what perf-validate consumes. *)
+  (match Exp_scale.validate_json (Exp_scale.to_json r) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("in-memory record invalid: " ^ e));
+  match Sim_json.parse (Exp_scale.render_json r) with
+  | Error e -> Alcotest.fail ("rendered record does not parse: " ^ e)
+  | Ok json -> (
+      match Exp_scale.validate_json json with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("round-tripped record invalid: " ^ e))
+
+(* The validator must reject, not mis-accept, the failure modes a perf
+   regression would actually produce. *)
+let test_perf_record_validator_rejects () =
+  let reject what json =
+    match Exp_scale.validate_json json with
+    | Ok () -> Alcotest.fail ("validator accepted " ^ what)
+    | Error _ -> ()
+  in
+  let parse s = match Sim_json.parse s with Ok j -> j | Error e -> Alcotest.fail e in
+  reject "wrong schema" (parse {|{"schema": "vpp-perf/0"}|});
+  reject "missing scales" (parse {|{"schema": "vpp-perf/1", "mode": "full"}|});
+  let r = Lazy.force quick_record in
+  let drop_first_scale = function
+    | Sim_json.Obj fields ->
+        Sim_json.Obj
+          (List.map
+             (function
+               | "scales", Sim_json.List (_ :: rest) -> ("scales", Sim_json.List rest)
+               | kv -> kv)
+             fields)
+    | j -> j
+  in
+  reject "a single remaining scale" (drop_first_scale (Exp_scale.to_json r))
+
 let test_renders_nonempty () =
   check_bool "table1 renders" true (String.length (Exp_table1.render (Exp_table1.run ())) > 100);
   check_bool "figures render" true
@@ -73,5 +158,16 @@ let () =
           Alcotest.test_case "substrate stats" `Slow test_substrate_stats;
           Alcotest.test_case "ablations hold" `Slow test_ablations_hold;
           Alcotest.test_case "renders" `Quick test_renders_nonempty;
+        ] );
+      ( "parallel driver",
+        [
+          Alcotest.test_case "in-order join" `Quick test_par_in_order_join;
+          Alcotest.test_case "re-raises task exceptions" `Quick test_par_reraises;
+        ] );
+      ( "perf record",
+        [
+          Alcotest.test_case "quick record validates" `Slow test_perf_record_quick;
+          Alcotest.test_case "validator rejects bad records" `Slow
+            test_perf_record_validator_rejects;
         ] );
     ]

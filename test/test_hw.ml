@@ -54,6 +54,46 @@ let test_phys_queries () =
   Alcotest.(check (list int)) "address range" [ 2; 3 ]
     (Phys.frames_in_range m ~lo_addr:8192 ~hi_addr:16384)
 
+(* The color/range queries are served from indexes precomputed at create
+   (per-color frame lists, interval arithmetic) instead of scanning the
+   frame array. Pin them against the naive scan they replaced, across
+   awkward geometries: colors > frames, a single frame, unaligned and
+   out-of-range address bounds. *)
+let test_phys_indexes_match_scan () =
+  let geometries =
+    [ (4, 4096, 16 * 4096); (16, 4096, 7 * 4096); (3, 8192, 11 * 8192); (16, 4096, 4096) ]
+  in
+  List.iter
+    (fun (n_colors, page_size, total_bytes) ->
+      let m = Phys.create ~n_colors ~page_size ~total_bytes () in
+      let scan keep =
+        List.filter (fun i -> keep (Phys.frame m i)) (List.init (Phys.n_frames m) Fun.id)
+      in
+      for color = 0 to Phys.n_colors m - 1 do
+        Alcotest.(check (list int))
+          (Printf.sprintf "color %d of %d/%d frames" color n_colors (Phys.n_frames m))
+          (scan (fun f -> f.Phys.color = color))
+          (Phys.frames_of_color m color)
+      done;
+      let ranges =
+        [
+          (0, total_bytes);
+          (page_size, 3 * page_size);
+          (page_size / 2, (2 * page_size) + 1);
+          (total_bytes - page_size, 2 * total_bytes);
+          (total_bytes, total_bytes + page_size);
+          (100, 100);
+        ]
+      in
+      List.iter
+        (fun (lo_addr, hi_addr) ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "range [%d, %d)" lo_addr hi_addr)
+            (scan (fun f -> f.Phys.addr >= lo_addr && f.Phys.addr < hi_addr))
+            (Phys.frames_in_range m ~lo_addr ~hi_addr))
+        ranges)
+    geometries
+
 let test_phys_copy_zero () =
   let m = Phys.create ~page_size:4096 ~total_bytes:(4 * 4096) () in
   (Phys.frame m 0).Phys.data <- Data.of_string "payload";
@@ -118,6 +158,78 @@ let test_pt_overflow_eviction () =
     Pt.insert pt ~space:1 ~vpn ~frame:vpn ~prot:prot_rw
   done;
   check_int "resident bounded" 3 (Pt.resident pt)
+
+(* Churn the overflow area hard (tiny table, interleaved inserts, removes
+   and a remove_space) and hold the hash to its cache contract against a
+   model map: a lookup may miss, but whatever it returns must be the live
+   frame for that key, and removed keys must never resurface. The
+   overflow scans run as plain loops on the fault path, so this is the
+   regression net for those loops. *)
+let test_pt_overflow_churn_matches_model () =
+  let pt = Pt.create ~slots:8 ~overflow:4 () in
+  let model = Hashtbl.create 64 in
+  let insert space vpn frame =
+    Pt.insert pt ~space ~vpn ~frame ~prot:prot_rw;
+    Hashtbl.replace model (space, vpn) frame
+  in
+  let remove space vpn =
+    Pt.remove pt ~space ~vpn;
+    Hashtbl.remove model (space, vpn)
+  in
+  let audit what =
+    Hashtbl.iter
+      (fun (space, vpn) frame ->
+        match Pt.lookup pt ~space ~vpn with
+        | Some (f, _) ->
+            check_int (Printf.sprintf "%s: (%d,%d) serves the live frame" what space vpn) frame f
+        | None -> ())
+      model;
+    (* Nothing cached that the model does not know about. *)
+    check_bool (what ^ ": no ghost entries") true (Pt.resident pt <= Hashtbl.length model)
+  in
+  for vpn = 0 to 39 do
+    insert (vpn mod 3) vpn (100 + vpn)
+  done;
+  audit "after fill";
+  for vpn = 0 to 39 do
+    if vpn mod 2 = 0 then remove (vpn mod 3) vpn
+  done;
+  audit "after removes";
+  List.iter
+    (fun (space, vpn) ->
+      check_bool
+        (Printf.sprintf "removed (%d,%d) stays gone" space vpn)
+        true
+        (Pt.lookup pt ~space ~vpn = None))
+    [ (0, 0); (2, 2); (1, 4) ];
+  for vpn = 0 to 19 do
+    insert (vpn mod 3) vpn (200 + vpn)
+  done;
+  audit "after reinserts";
+  Pt.remove_space pt ~space:1;
+  Hashtbl.iter
+    (fun (space, vpn) _ ->
+      if space = 1 then
+        check_bool (Printf.sprintf "space 1 vpn %d flushed" vpn) true
+          (Pt.lookup pt ~space ~vpn = None))
+    model;
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) model [] in
+  List.iter (fun ((space, _) as k) -> if space = 1 then Hashtbl.remove model k) keys;
+  audit "after remove_space"
+
+(* Hw_machine sizes the mapping hash to the physical frame count once a
+   machine outgrows the 64K-slot default, so frames map 1:1 to slots and
+   warm scans at the perf record's sizes stay hash hits. Paper-scale
+   machines keep the default — their records (substrate stats, Table 1)
+   are unchanged. *)
+let test_machine_pt_sized_to_memory () =
+  let small = Hw_machine.create ~memory_bytes:(16 * 1024 * 1024) () in
+  check_int "paper-scale machine keeps the 64K default" 65536
+    (Pt.capacity small.Hw_machine.page_table);
+  let frames = 65536 + 256 in
+  let big = Hw_machine.create ~memory_bytes:(frames * 4096) () in
+  check_int "large machine gets one slot per frame" frames
+    (Pt.capacity big.Hw_machine.page_table)
 
 let test_pt_update_in_place () =
   let pt = Pt.create () in
@@ -267,6 +379,7 @@ let () =
         [
           Alcotest.test_case "layout" `Quick test_phys_layout;
           Alcotest.test_case "color/range queries" `Quick test_phys_queries;
+          Alcotest.test_case "indexes match the naive scan" `Quick test_phys_indexes_match_scan;
           Alcotest.test_case "copy and zero" `Quick test_phys_copy_zero;
           Alcotest.test_case "bad create" `Quick test_phys_bad_create;
         ] );
@@ -278,6 +391,8 @@ let () =
           Alcotest.test_case "collision to overflow" `Quick test_pt_collision_overflow;
           Alcotest.test_case "overflow eviction" `Quick test_pt_overflow_eviction;
           Alcotest.test_case "update in place" `Quick test_pt_update_in_place;
+          Alcotest.test_case "overflow churn vs model" `Quick test_pt_overflow_churn_matches_model;
+          Alcotest.test_case "sized to machine memory" `Quick test_machine_pt_sized_to_memory;
         ] );
       ( "tlb",
         [

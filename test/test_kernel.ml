@@ -283,6 +283,77 @@ let test_binding_range_checked () =
   | () -> Alcotest.fail "expected Binding_out_of_range"
   | exception K.Error (K.Binding_out_of_range _) -> ()
 
+(* The bound-region array is kept sorted so binding_covering and
+   bindings_overlap are binary searches (they run on every fault-path
+   segment walk). Build a layout in shuffled insertion order and pin both
+   against the linear scans they replaced, over every page and a grid of
+   candidate regions — boundaries included. *)
+let test_binding_search_matches_linear () =
+  let seg = Seg.make ~sid:99 ~name:"search" ~page_size:4096 ~pages:64 in
+  let regions = [ (40, 5); (0, 3); (20, 1); (8, 4); (58, 6); (30, 6) ] in
+  List.iter
+    (fun (at, len) ->
+      Seg.add_binding seg { Seg.at; len; target = 1; target_page = at; cow = false })
+    regions;
+  let sorted = Seg.bindings_list seg in
+  let ats = List.map (fun b -> b.Seg.at) sorted in
+  Alcotest.(check (list int)) "insertion kept the array sorted" (List.sort compare ats) ats;
+  let naive_covering page =
+    List.find_opt (fun b -> b.Seg.at <= page && page < b.Seg.at + b.Seg.len) sorted
+  in
+  for page = 0 to Seg.length seg - 1 do
+    check_bool
+      (Printf.sprintf "covering(%d) matches the linear scan" page)
+      true
+      (Seg.binding_covering seg page = naive_covering page)
+  done;
+  let naive_overlap ~at ~len =
+    List.exists (fun b -> at < b.Seg.at + b.Seg.len && b.Seg.at < at + len) sorted
+  in
+  for at = 0 to Seg.length seg - 1 do
+    List.iter
+      (fun len ->
+        check_bool
+          (Printf.sprintf "overlap(%d,%d) matches the linear scan" at len)
+          true
+          (Seg.bindings_overlap seg ~at ~len = naive_overlap ~at ~len))
+      [ 1; 2; 5; 11 ]
+  done;
+  (* An empty segment for the degenerate cases. *)
+  let bare = Seg.make ~sid:100 ~name:"bare" ~page_size:4096 ~pages:8 in
+  check_bool "no bindings: covering none" true (Seg.binding_covering bare 3 = None);
+  check_bool "no bindings: no overlap" false (Seg.bindings_overlap bare ~at:0 ~len:8)
+
+(* The per-segment resident counter (and the O(segments) owner audit built
+   on it) must track the page-array scan through every mutation class:
+   migrate in/out, release, destroy. *)
+let test_resident_counter_matches_scan () =
+  let k = kernel ~frames:32 () in
+  let audits_agree what =
+    Alcotest.(check (list (pair int int)))
+      (what ^ ": incremental audit = scan audit")
+      (K.frame_owner_audit_scan k) (K.frame_owner_audit k);
+    List.iter
+      (fun (sid, _) ->
+        let seg = K.segment k sid in
+        check_int
+          (Printf.sprintf "%s: segment %d counter = scan" what sid)
+          (Seg.resident_pages_scan seg) (Seg.resident_pages seg))
+      (K.frame_owner_audit k)
+  in
+  audits_agree "boot";
+  let a = K.create_segment k ~name:"a" ~pages:12 () in
+  let b = K.create_segment k ~name:"b" ~pages:12 () in
+  K.migrate_pages k ~src:(K.initial_segment k) ~dst:a ~src_page:0 ~dst_page:0 ~count:8 ();
+  audits_agree "after migrate in";
+  K.migrate_pages k ~src:a ~dst:b ~src_page:2 ~dst_page:0 ~count:4 ();
+  audits_agree "after migrate across";
+  K.release_frames k ~seg:b ~page:0 ~count:2;
+  audits_agree "after release";
+  K.destroy_segment k a;
+  audits_agree "after destroy";
+  check_int "still conserved" 32 (K.frame_owner_total k)
+
 let test_cow_write_creates_private_copy () =
   let k = kernel () in
   let mid, seen = spy_manager k in
@@ -899,6 +970,7 @@ let () =
         [
           Alcotest.test_case "initial segment" `Quick test_initial_segment;
           Alcotest.test_case "frame conservation" `Quick test_frame_conservation_after_migrates;
+          Alcotest.test_case "resident counter vs scan" `Quick test_resident_counter_matches_scan;
         ] );
       ( "migrate",
         [
@@ -926,6 +998,8 @@ let () =
           Alcotest.test_case "resolution" `Quick test_binding_resolution;
           Alcotest.test_case "overlap rejected" `Quick test_binding_overlap_rejected;
           Alcotest.test_case "range checked" `Quick test_binding_range_checked;
+          Alcotest.test_case "binary search vs linear scan" `Quick
+            test_binding_search_matches_linear;
           Alcotest.test_case "cow private copy" `Quick test_cow_write_creates_private_copy;
           Alcotest.test_case "figure 1 render" `Quick test_render_address_space;
         ] );

@@ -190,6 +190,60 @@ let test_heap_empty () =
   check_bool "pop none" true (Heap.pop h = None);
   check_bool "peek none" true (Heap.peek_time h = None)
 
+(* Interleaved push/pop sequences against a sorted-list model: the heap's
+   observable behaviour (including peek and FIFO order at time ties) is
+   exactly a list kept sorted by (time, seq). The engine's delay fast path
+   leans on [peek_time] being exact mid-stream, not just after a full
+   drain, so the model is checked after every operation. *)
+let prop_heap_model =
+  QCheck.Test.make ~name:"heap matches sorted-list model under push/pop" ~count:200
+    QCheck.(list (option (pair (float_bound_exclusive 100.0) small_int)))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let insert (t, s, v) =
+        let rec go = function
+          | [] -> [ (t, s, v) ]
+          | ((t', s', _) as hd) :: tl ->
+              if (t, s) < (t', s') then (t, s, v) :: hd :: tl else hd :: go tl
+        in
+        model := go !model
+      in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Some (t, v) ->
+              incr seq;
+              Heap.push h ~time:t ~seq:!seq v;
+              insert (t, !seq, v)
+          | None -> (
+              match (Heap.pop h, !model) with
+              | None, [] -> ()
+              | Some got, expect :: rest when got = expect -> model := rest
+              | _ -> QCheck.Test.fail_report "pop disagrees with model"));
+          Heap.size h = List.length !model
+          && Heap.peek_time h = (match !model with [] -> None | (t, _, _) :: _ -> Some t))
+        ops)
+
+(* Regression: [clear] must fully reset the heap so a reused engine heap
+   starts empty — a stale size or leftover entry would replay old events. *)
+let test_heap_clear_reuse () =
+  let h = Heap.create () in
+  for i = 1 to 16 do
+    Heap.push h ~time:(float_of_int i) ~seq:i i
+  done;
+  ignore (Heap.pop h);
+  Heap.clear h;
+  check_bool "empty after clear" true (Heap.is_empty h);
+  check_int "size zero after clear" 0 (Heap.size h);
+  check_bool "peek none after clear" true (Heap.peek_time h = None);
+  check_bool "pop none after clear" true (Heap.pop h = None);
+  Heap.push h ~time:2.0 ~seq:1 20;
+  Heap.push h ~time:1.0 ~seq:2 10;
+  check_bool "reused heap orders fresh pushes" true
+    (Heap.pop h = Some (1.0, 2, 10) && Heap.pop h = Some (2.0, 1, 20) && Heap.pop h = None)
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
     QCheck.(list (pair (float_bound_exclusive 1000.0) small_int))
@@ -221,6 +275,30 @@ let test_engine_delay_advances_clock () =
   check_float "clock" 150.0 !finished;
   check_float "engine now" 150.0 (Engine.now e);
   check_int "no live processes" 0 (Engine.live_processes e)
+
+(* The delay fast path (nothing due earlier: advance the clock inline,
+   skipping the heap) must be observationally identical to the scheduled
+   path — including [events_executed], which the perf record reports. A
+   lone process takes the fast path on every delay; two interleaved
+   processes force the heap path; both must count one event per spawn
+   plus one per delay. *)
+let test_engine_delay_event_count () =
+  let solo = Engine.create () in
+  Engine.spawn solo (fun () ->
+      for _ = 1 to 5 do
+        Engine.delay 1.0
+      done);
+  Engine.run solo;
+  check_int "solo process: spawn + 5 delays" 6 (Engine.events_executed solo);
+  let duo = Engine.create () in
+  for _ = 1 to 2 do
+    Engine.spawn duo (fun () ->
+        for _ = 1 to 5 do
+          Engine.delay 1.0
+        done)
+  done;
+  Engine.run duo;
+  check_int "interleaved processes: 2 spawns + 10 delays" 12 (Engine.events_executed duo)
 
 let test_engine_interleaving () =
   let e = Engine.create () in
@@ -601,6 +679,7 @@ let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_heap_sorts;
+      prop_heap_model;
       prop_engine_deterministic;
       prop_resource_never_exceeds_capacity;
       prop_chaos_same_seed_same_schedule;
@@ -638,10 +717,12 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "clear then reuse" `Quick test_heap_clear_reuse;
         ] );
       ( "engine",
         [
           Alcotest.test_case "delay advances clock" `Quick test_engine_delay_advances_clock;
+          Alcotest.test_case "delay event accounting" `Quick test_engine_delay_event_count;
           Alcotest.test_case "interleaving" `Quick test_engine_interleaving;
           Alcotest.test_case "until horizon" `Quick test_engine_until;
           Alcotest.test_case "fork" `Quick test_engine_fork;

@@ -115,6 +115,35 @@ let test_elapsed_times_sane () =
         (Float.abs (v.Wl_run.v_elapsed_s -. u.Wl_run.u_elapsed_s) /. u.Wl_run.u_elapsed_s < 0.10))
     Wl_apps.all
 
+(* ------------------------------------------------------------------ *)
+(* Wl_scale: the perf record's synthetic workload                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The whole record rests on the workload being deterministic: rerunning a
+   config must reproduce every field, simulated clock and engine event
+   count included, so only the host wall-clock differs between perf runs. *)
+let test_scale_deterministic () =
+  let a = Wl_scale.run Wl_scale.size_8mb in
+  let b = Wl_scale.run Wl_scale.size_8mb in
+  check_bool "same config, same result record" true (a = b)
+
+(* Pin the 8 MB deterministic counts: the phases are sized by arithmetic
+   on the frame count (half cold-paged, quarter ping-ponged, churn over
+   budget), so a drift here means the workload's shape changed and
+   cross-PR throughput numbers stop being comparable. The engine event
+   count is deliberately not pinned — it tracks charge structure, which
+   the Table 1 goldens already own. *)
+let test_scale_counts_pinned () =
+  let r = Wl_scale.run Wl_scale.size_8mb in
+  check_int "frames" 2048 r.Wl_scale.r_frames;
+  check_int "touches" 3584 r.Wl_scale.r_touches;
+  check_int "faults" 1344 r.Wl_scale.r_faults;
+  check_int "migrate calls" 2696 r.Wl_scale.r_migrate_calls;
+  check_int "migrated pages" 3200 r.Wl_scale.r_migrated_pages;
+  check_bool "conserved (total, audit = scan, no wedged process)" true r.Wl_scale.r_conserved;
+  check_bool "events counted" true (r.Wl_scale.r_events > 0);
+  check_bool "simulated clock advanced" true (r.Wl_scale.r_sim_us > 0.0)
+
 let () =
   Alcotest.run "workloads"
     [
@@ -132,6 +161,11 @@ let () =
           Alcotest.test_case "4KB I/O units" `Quick test_vpp_reads_are_4kb_units;
           Alcotest.test_case "deterministic" `Quick test_vpp_deterministic;
           Alcotest.test_case "Table 3 counts pinned" `Quick test_table3_counts_pinned;
+        ] );
+      ( "scale",
+        [
+          Alcotest.test_case "deterministic" `Quick test_scale_deterministic;
+          Alcotest.test_case "8 MB counts pinned" `Quick test_scale_counts_pinned;
         ] );
       ( "ultrix",
         [
