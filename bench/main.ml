@@ -89,7 +89,16 @@ let reproduce () =
   let oc = open_out "BENCH_perf.json" in
   output_string oc (Exp_scale.render_json perf);
   close_out oc;
-  print_endline "(machine-readable record written to BENCH_perf.json)"
+  print_endline "(machine-readable record written to BENCH_perf.json)";
+  line ();
+  print_endline "Market: multi-tenant admission control at production scale";
+  line ();
+  let market = Exp_market.run ~jobs () in
+  print_string (Exp_market.render market);
+  let oc = open_out "BENCH_market.json" in
+  output_string oc (Exp_market.render_json market);
+  close_out oc;
+  print_endline "(machine-readable record written to BENCH_market.json)"
 
 (* One Test.make per table/figure. Table 4 runs in its quick (60 s
    simulated) configuration here so a Bechamel sample stays subsecond. *)
@@ -103,6 +112,8 @@ let tests =
         (Staged.stage (fun () -> ignore (Exp_table4.run ~quick:true ())));
       Test.make ~name:"figures.protocol" (Staged.stage (fun () -> ignore (Exp_figures.run ())));
       Test.make ~name:"chaos.storms" (Staged.stage (fun () -> ignore (Exp_chaos.run ())));
+      Test.make ~name:"market.small"
+        (Staged.stage (fun () -> ignore (Exp_market.run ~quick:true ())));
     ]
 
 let benchmark () =

@@ -77,6 +77,37 @@ let run_perf_validate file () =
           Printf.eprintf "%s: invalid %s record: %s\n" file Exp_scale.schema_version e;
           exit 1)
 
+let run_market quick json jobs out () =
+  let r = Exp_market.run ~quick ?jobs () in
+  let record = Exp_market.render_json r in
+  let oc = open_out out in
+  output_string oc record;
+  close_out oc;
+  if json then print_string record
+  else begin
+    print_string (Exp_market.render r);
+    Printf.printf "(machine-readable record written to %s)\n" out
+  end;
+  if not (Exp_report.all_pass r.Exp_market.checks) then exit 1
+
+let run_market_validate file () =
+  let contents =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error e ->
+      Printf.eprintf "%s\n" e;
+      exit 1
+  in
+  match Sim_json.parse contents with
+  | Error e ->
+      Printf.eprintf "%s: JSON parse error: %s\n" file e;
+      exit 1
+  | Ok json -> (
+      match Exp_market.validate_json json with
+      | Ok () -> Printf.printf "%s: valid %s record\n" file Exp_market.schema_version
+      | Error e ->
+          Printf.eprintf "%s: invalid %s record: %s\n" file Exp_market.schema_version e;
+          exit 1)
+
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Shorten the Table 4 simulation (60s instead of 300s).")
 
@@ -114,6 +145,11 @@ let out_opt =
     value & opt string "BENCH_perf.json"
     & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the vpp-perf/1 record.")
 
+let market_out_opt =
+  Arg.(
+    value & opt string "BENCH_market.json"
+    & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the vpp-market/1 record.")
+
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Record to validate.")
 
@@ -144,6 +180,12 @@ let () =
         Term.(const run_perf $ quick_flag $ json_flag $ perf_jobs_opt $ out_opt $ const ());
       cmd "perf-validate" "Validate a vpp-perf/1 record written by perf or bench"
         Term.(const run_perf_validate $ file_arg $ const ());
+      cmd "market"
+        "Multi-tenant memory market at production scale: admission control, lazy settlement \
+         and per-class SLOs (the vpp-market/1 record; not a paper table)"
+        Term.(const run_market $ quick_flag $ json_flag $ perf_jobs_opt $ market_out_opt $ const ());
+      cmd "market-validate" "Validate a vpp-market/1 record written by market or bench"
+        Term.(const run_market_validate $ file_arg $ const ());
       cmd "all" "Every table and figure" Term.(const run_all $ quick_flag $ jobs_opt $ const ());
     ]
   in

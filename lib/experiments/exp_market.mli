@@ -1,0 +1,36 @@
+(** The [vpp-market/1] record: the multi-tenant memory-market workload
+    ({!Wl_market}) at one or two scales, with per-class SLO tables,
+    market-conservation audits and machine-checked shape checks.
+
+    Follows the [vpp-perf/1] pattern: [run] produces a result whose JSON
+    rendering carries a [schema] tag and a [checks] array; [validate_json]
+    re-checks a written record (schema presence, conservation flags, SLO
+    quantile ordering, all checks passing) so CI can gate on the file
+    itself. Wall-clock seconds come from [Unix.gettimeofday] — the same
+    deliberate exception to the no-wall-clock rule as [Exp_scale]; every
+    other field is deterministic from the workload seeds. *)
+
+val schema_version : string
+
+type leg = {
+  l_result : Wl_market.result;
+  l_wall_s : float;
+}
+
+type result = {
+  mode : string;  (** "quick" (small leg only) or "full". *)
+  jobs : int;
+  legs : leg list;
+  checks : Exp_report.check list;
+}
+
+val run : ?quick:bool -> ?jobs:int -> unit -> result
+(** [quick] runs only the [small] leg; the full run adds [production]
+    (~5,000 tenants). [jobs] fans the legs over domains ({!Exp_par.map});
+    results are deterministic either way. *)
+
+val render : result -> string
+val to_json : result -> Sim_json.t
+val render_json : result -> string
+
+val validate_json : Sim_json.t -> (unit, string) Result.t

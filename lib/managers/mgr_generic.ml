@@ -114,6 +114,14 @@ let charge_logic t =
   Hw_machine.charge ~label:"mgr/fault_logic" (K.machine t.kern)
     (K.machine t.kern).Hw_machine.cost.Hw_cost.manager_fault_logic
 
+(* Pool operations are multi-step and charge simulated time as they go,
+   so any two of them interleave if run from different processes. Fault
+   handling already serialises on [serving]; the batch entry points
+   (swap_out, swap_in, return_to_system) take the same lock. *)
+let with_serving t f =
+  Sim_sync.Semaphore.acquire t.serving;
+  Fun.protect ~finally:(fun () -> Sim_sync.Semaphore.release t.serving) f
+
 (* ------------------------------------------------------------------ *)
 (* Pool refill and reclamation                                        *)
 (* ------------------------------------------------------------------ *)
@@ -392,10 +400,12 @@ let on_close t seg =
   t.ring_dead <- 0;
   t.hand <- List.filter (fun e -> e.ce_seg <> seg) t.hand
 
-let return_to_system t ~pages =
+let return_to_system_unlocked t ~pages =
   if Mgr_free_pages.available t.pool < pages then
     ignore (reclaim t ~count:(pages - Mgr_free_pages.available t.pool));
   Mgr_free_pages.release_to_initial t.pool ~count:pages
+
+let return_to_system t ~pages = with_serving t (fun () -> return_to_system_unlocked t ~pages)
 
 (* The 2.2 batch-swap protocol: page everything out (unpinned pages are
    written back per the eviction policy) and hand the frames back to the
@@ -403,6 +413,7 @@ let return_to_system t ~pages =
    expected to unpin and release those through the default manager before
    suspending, and lock_in_memory re-establishes them on resumption. *)
 let swap_out t =
+  with_serving t @@ fun () ->
   let released = ref 0 in
   let continue_ = ref true in
   while !continue_ do
@@ -456,7 +467,16 @@ let create kern ~name ~mode ~backing ?source ?hooks ?(pool_capacity = 1024) ?(re
     K.register_manager kern ~name ~mode
       ~on_fault:(fun f -> on_fault t f)
       ~on_close:(fun s -> on_close t s)
-      ~on_pressure:(fun ~pages -> return_to_system t ~pages)
+      ~on_pressure:(fun ~pages ->
+        (* Never block here: the caller (SPCM) holds its own serving lock
+           while a fault handler holding ours may be blocked on an SPCM
+           request — waiting would deadlock. A busy manager's pool is in
+           flux anyway; declining is the honest answer. *)
+        if Sim_sync.Semaphore.try_acquire t.serving then
+          Fun.protect
+            ~finally:(fun () -> Sim_sync.Semaphore.release t.serving)
+            (fun () -> return_to_system_unlocked t ~pages)
+        else 0)
       ();
   t
 

@@ -117,13 +117,18 @@ val reclaim : t -> count:int -> int
 
 val return_to_system : t -> pages:int -> int
 (** Give frames back to the kernel's initial segment (reclaiming first if
-    the pool is short); the SPCM pressure callback. Returns frames
-    actually returned. *)
+    the pool is short); returns frames actually returned. Serialised
+    against fault handling on the manager's serving lock — pool scans
+    charge simulated time step by step and must not interleave. The
+    registered SPCM pressure callback uses a non-blocking variant: if the
+    manager is mid-fault it declines (returns 0) rather than deadlock
+    against a fault handler that is itself blocked on an SPCM request. *)
 
 val swap_out : t -> int
 (** The §2.2 suspension protocol: evict every unpinned page of every
     managed segment (dirty data goes to the backing/swap store) and
-    return all pooled frames to the system. Returns frames released. *)
+    return all pooled frames to the system. Returns frames released.
+    Serialised like {!return_to_system}. *)
 
 val swap_in : t -> unit
 (** Eagerly fault swapped pages back in (demand faulting would also

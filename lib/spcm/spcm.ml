@@ -23,12 +23,30 @@ type client = {
   cl_id : client_id;
   cl_name : string;
   cl_account : Spcm_market.account_id;
-  cl_manager : Epcm_manager.id option;
+  cl_priority : float;
+  mutable cl_manager : Epcm_manager.id option;
   mutable cl_requests : int;
   mutable cl_granted : int;
   mutable cl_deferred : int;
   mutable cl_refused : int;
   mutable cl_holding : int;
+}
+
+(* A blocked [acquire]: the waiter's process sleeps on [w_gate] until the
+   pump has granted its full remainder (or refused it). The admission key
+   under which it was queued is kept so a partially served head entry can
+   be re-queued at its original position. *)
+type waiter = {
+  w_client : client_id;
+  w_dst : Seg.id;
+  mutable w_dst_page : int;
+  mutable w_remaining : int;
+  w_constraint : constraint_;
+  w_gate : Sim_sync.Semaphore.t;
+  mutable w_granted : int;
+  w_priority : float;
+  w_balance : float;
+  mutable w_seq : int;
 }
 
 type t = {
@@ -38,6 +56,8 @@ type t = {
   clients : (client_id, client) Hashtbl.t;
   mutable next_client : int;
   mutable demand : bool;
+  admit : waiter Spcm_admit.t;
+  mutable defers : int;
   (* The SPCM is a single-threaded server process: requests from
      concurrent clients are serialised, which also keeps multi-step grant
      scans atomic with respect to the simulation clock. *)
@@ -53,6 +73,8 @@ let create kern ?market ?(affordability_horizon = 10.0) () =
     clients = Hashtbl.create 16;
     next_client = 1;
     demand = false;
+    admit = Spcm_admit.create ();
+    defers = 0;
     serving = Sim_sync.Semaphore.create 1;
   }
 
@@ -60,7 +82,7 @@ let kernel t = t.kern
 let market t = t.market
 let now_us t = Hw_machine.now (K.machine t.kern)
 
-let register_client ?income ?manager t ~name () =
+let register_client ?income ?(priority = 0.0) ?manager t ~name () =
   let id = t.next_client in
   t.next_client <- t.next_client + 1;
   let account = Spcm_market.open_account ?income t.market ~name ~now_us:(now_us t) in
@@ -69,6 +91,7 @@ let register_client ?income ?manager t ~name () =
       cl_id = id;
       cl_name = name;
       cl_account = account;
+      cl_priority = priority;
       cl_manager = manager;
       cl_requests = 0;
       cl_granted = 0;
@@ -83,11 +106,15 @@ let client t id =
   | Some c -> c
   | None -> invalid_arg (Printf.sprintf "Spcm.client: no client %d" id)
 
+let set_client_manager t id mid = (client t id).cl_manager <- Some mid
+
 let account_of t id = Spcm_market.account t.market (client t id).cl_account
 
 let settle t = Spcm_market.settle t.market ~now_us:(now_us t)
 
 let pending_demand t = t.demand
+let pending_acquires t = Spcm_admit.size t.admit
+let defer_events t = t.defers
 
 (* The SPCM is a server process: each request costs an IPC round trip. *)
 let charge_rpc t =
@@ -126,10 +153,28 @@ let free_frames t =
 
 let grant_slots t cl ~dst ~dst_page slots =
   let init = K.initial_segment t.kern in
-  List.iteri
-    (fun i slot ->
-      K.migrate_pages t.kern ~src:init ~dst ~src_page:slot ~dst_page:(dst_page + i) ~count:1 ())
-    slots;
+  (* Contiguous runs of free slots collapse into one MigratePages call
+     each, amortising the syscall + migrate base cost — at thousands of
+     grants per second the per-call overhead would otherwise dominate the
+     SPCM server's occupancy. *)
+  let rec go slots di =
+    match slots with
+    | [] -> ()
+    | s0 :: rest ->
+        let len = ref 1 and rest = ref rest and prev = ref s0 in
+        let continue_ = ref true in
+        while !continue_ do
+          match !rest with
+          | s :: tl when s = !prev + 1 ->
+              prev := s;
+              incr len;
+              rest := tl
+          | _ -> continue_ := false
+        done;
+        K.migrate_pages t.kern ~src:init ~dst ~src_page:s0 ~dst_page:di ~count:!len ();
+        go !rest (di + !len)
+  in
+  go slots dst_page;
   let n = List.length slots in
   cl.cl_granted <- cl.cl_granted + n;
   cl.cl_holding <- cl.cl_holding + n;
@@ -183,6 +228,53 @@ let serialised t f =
   Sim_sync.Semaphore.acquire t.serving;
   Fun.protect ~finally:(fun () -> Sim_sync.Semaphore.release t.serving) f
 
+let set_market_demand t d = Spcm_market.set_demand t.market d ~now_us:(now_us t)
+
+(* Serve queued waiters in admission order while the pool can cover the
+   head's full remainder (all-or-nothing, so a blocked waiter never parks
+   on a partial grant). A constrained head whose slot scan comes short
+   keeps its place and stops the pump. Runs inside [serialised]. *)
+let rec pump t =
+  match Spcm_admit.peek t.admit with
+  | None -> ()
+  | Some (_, _, _, w) when free_frames t >= w.w_remaining -> (
+      ignore (Spcm_admit.pop t.admit);
+      let cl = client t w.w_client in
+      Spcm_market.settle_lazy t.market cl.cl_account ~now_us:(now_us t);
+      if
+        not
+          (Spcm_market.can_afford t.market cl.cl_account ~pages:w.w_remaining
+             ~seconds:t.horizon)
+      then begin
+        (* The balance drained while queued: refuse rather than grant
+           memory the account cannot carry. *)
+        cl.cl_refused <- cl.cl_refused + 1;
+        w.w_remaining <- 0;
+        Sim_sync.Semaphore.release w.w_gate;
+        pump t
+      end
+      else
+        let slots = free_slots t ~constraint_:w.w_constraint ~limit:w.w_remaining in
+        let n = grant_slots t cl ~dst:w.w_dst ~dst_page:w.w_dst_page slots in
+        w.w_granted <- w.w_granted + n;
+        w.w_dst_page <- w.w_dst_page + n;
+        w.w_remaining <- w.w_remaining - n;
+        if w.w_remaining = 0 then begin
+          Sim_sync.Semaphore.release w.w_gate;
+          pump t
+        end
+        else
+          (* Only a constraint can leave a shortfall here; keep the
+             waiter's position and wait for matching frames. *)
+          Spcm_admit.push_seq t.admit ~priority:w.w_priority ~balance:w.w_balance ~seq:w.w_seq w)
+  | Some _ -> ()
+
+let note_free_frames t =
+  if free_frames t > 0 && Spcm_admit.is_empty t.admit then begin
+    t.demand <- false;
+    set_market_demand t false
+  end
+
 let request t ~client:cid ~dst ~dst_page ~count ?(constraint_ = Unconstrained) () =
   if count <= 0 then invalid_arg "Spcm.request: count must be positive";
   serialised t @@ fun () ->
@@ -190,8 +282,8 @@ let request t ~client:cid ~dst ~dst_page ~count ?(constraint_ = Unconstrained) (
   cl.cl_requests <- cl.cl_requests + 1;
   charge_rpc t;
   t.demand <- true;
-  Spcm_market.set_demand t.market true;
-  settle t;
+  set_market_demand t true;
+  Spcm_market.settle_lazy t.market cl.cl_account ~now_us:(now_us t);
   let affordable =
     Spcm_market.can_afford t.market cl.cl_account ~pages:count ~seconds:t.horizon
   in
@@ -214,11 +306,97 @@ let request t ~client:cid ~dst ~dst_page ~count ?(constraint_ = Unconstrained) (
     match slots with
     | [] ->
         cl.cl_deferred <- cl.cl_deferred + 1;
+        t.defers <- t.defers + 1;
         Deferred
     | _ ->
         let n = grant_slots t cl ~dst ~dst_page slots in
         Granted n
   end
+
+let enqueue t cl ~dst ~dst_page ~remaining ~constraint_ ~granted =
+  cl.cl_deferred <- cl.cl_deferred + 1;
+  t.defers <- t.defers + 1;
+  let balance = (Spcm_market.account t.market cl.cl_account).Spcm_market.balance in
+  let w =
+    {
+      w_client = cl.cl_id;
+      w_dst = dst;
+      w_dst_page = dst_page;
+      w_remaining = remaining;
+      w_constraint = constraint_;
+      w_gate = Sim_sync.Semaphore.create 0;
+      w_granted = granted;
+      w_priority = cl.cl_priority;
+      w_balance = balance;
+      w_seq = 0;
+    }
+  in
+  w.w_seq <- Spcm_admit.push t.admit ~priority:w.w_priority ~balance:w.w_balance w;
+  w
+
+let acquire t ~client:cid ~dst ~dst_page ~count ?(constraint_ = Unconstrained) () =
+  if count <= 0 then invalid_arg "Spcm.acquire: count must be positive";
+  let outcome =
+    serialised t @@ fun () ->
+    let cl = client t cid in
+    cl.cl_requests <- cl.cl_requests + 1;
+    charge_rpc t;
+    t.demand <- true;
+    set_market_demand t true;
+    Spcm_market.settle_lazy t.market cl.cl_account ~now_us:(now_us t);
+    if not (Spcm_market.can_afford t.market cl.cl_account ~pages:count ~seconds:t.horizon)
+    then begin
+      cl.cl_refused <- cl.cl_refused + 1;
+      `Done 0
+    end
+    else if free_frames t >= count then begin
+      let slots = free_slots t ~constraint_ ~limit:count in
+      if List.length slots = count then `Done (grant_slots t cl ~dst ~dst_page slots)
+      else
+        (* Enough frames but not of the right color/range: take the
+           matching ones now and queue for the rest. *)
+        let n = grant_slots t cl ~dst ~dst_page slots in
+        `Wait (enqueue t cl ~dst ~dst_page:(dst_page + n) ~remaining:(count - n) ~constraint_
+                 ~granted:n)
+    end
+    else `Wait (enqueue t cl ~dst ~dst_page ~remaining:count ~constraint_ ~granted:0)
+  in
+  match outcome with
+  | `Done n -> n
+  | `Wait w ->
+      Sim_sync.Semaphore.acquire w.w_gate;
+      w.w_granted
+
+let refuse_pending t =
+  serialised t @@ fun () ->
+  let n = ref 0 in
+  let rec drain () =
+    match Spcm_admit.pop t.admit with
+    | None -> ()
+    | Some (_, _, _, w) ->
+        let cl = client t w.w_client in
+        cl.cl_refused <- cl.cl_refused + 1;
+        w.w_remaining <- 0;
+        incr n;
+        Sim_sync.Semaphore.release w.w_gate;
+        drain ()
+  in
+  drain ();
+  note_free_frames t;
+  !n
+
+let sweep t =
+  serialised t @@ fun () ->
+  let recovered = ref (force_bankrupt_returns t) in
+  (match Spcm_admit.peek t.admit with
+  | Some (_, _, _, w) when free_frames t < w.w_remaining ->
+      recovered :=
+        !recovered
+        + reclaim_from_clients t ~need:(w.w_remaining - free_frames t) ~exempt:(Some w.w_client)
+  | Some _ | None -> ());
+  pump t;
+  note_free_frames t;
+  !recovered
 
 let return_pages t ~client:cid ~seg ~page ~count =
   serialised t @@ fun () ->
@@ -230,21 +408,18 @@ let return_pages t ~client:cid ~seg ~page ~count =
   cl.cl_holding <- cl.cl_holding - returned;
   Spcm_market.note_holding_change t.market cl.cl_account ~delta_pages:(-returned)
     ~now_us:(now_us t);
-  if free_frames t > 0 then begin
-    t.demand <- false;
-    Spcm_market.set_demand t.market false
-  end
+  pump t;
+  note_free_frames t
 
 let note_returned t ~client:cid ~count =
+  serialised t @@ fun () ->
   let cl = client t cid in
   let returned = min count cl.cl_holding in
   cl.cl_holding <- cl.cl_holding - returned;
   Spcm_market.note_holding_change t.market cl.cl_account ~delta_pages:(-returned)
     ~now_us:(now_us t);
-  if free_frames t > 0 then begin
-    t.demand <- false;
-    Spcm_market.set_demand t.market false
-  end
+  pump t;
+  note_free_frames t
 
 let source_for t cid ~dst ~dst_page ~count =
   match request t ~client:cid ~dst ~dst_page ~count () with

@@ -1,0 +1,79 @@
+type 'a entry = { prio : float; bal : float; seq : int; payload : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable len : int; mutable next_seq : int }
+
+let create () = { arr = [||]; len = 0; next_seq = 0 }
+let is_empty t = t.len = 0
+let size t = t.len
+
+(* Max-order on (prio, bal), FIFO (min seq) on full ties. *)
+let before a b =
+  a.prio > b.prio
+  || (a.prio = b.prio && (a.bal > b.bal || (a.bal = b.bal && a.seq < b.seq)))
+
+let swap t i j =
+  let tmp = t.arr.(i) in
+  t.arr.(i) <- t.arr.(j);
+  t.arr.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.arr.(i) t.arr.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let first = ref i in
+  if l < t.len && before t.arr.(l) t.arr.(!first) then first := l;
+  if r < t.len && before t.arr.(r) t.arr.(!first) then first := r;
+  if !first <> i then begin
+    swap t i !first;
+    sift_down t !first
+  end
+
+let insert t e =
+  if t.len = Array.length t.arr then begin
+    let cap = if t.len = 0 then 16 else 2 * t.len in
+    let bigger = Array.make cap e in
+    Array.blit t.arr 0 bigger 0 t.len;
+    t.arr <- bigger
+  end;
+  t.arr.(t.len) <- e;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let push t ~priority ~balance payload =
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  insert t { prio = priority; bal = balance; seq; payload };
+  seq
+
+let push_seq t ~priority ~balance ~seq payload =
+  if seq >= t.next_seq then t.next_seq <- seq + 1;
+  insert t { prio = priority; bal = balance; seq; payload }
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.arr.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.arr.(0) <- t.arr.(t.len);
+      sift_down t 0
+    end;
+    Some (top.prio, top.bal, top.seq, top.payload)
+  end
+
+let peek t =
+  if t.len = 0 then None
+  else
+    let top = t.arr.(0) in
+    Some (top.prio, top.bal, top.seq, top.payload)
+
+let clear t =
+  t.arr <- [||];
+  t.len <- 0

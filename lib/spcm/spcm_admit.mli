@@ -1,0 +1,36 @@
+(** Admission-control priority queue for the SPCM (ROADMAP item 1).
+
+    A binary max-heap over the two-component admission key
+    [(priority, balance)] with FIFO tie-breaking: of two entries with equal
+    keys, the one pushed first pops first. All decisions the SPCM makes off
+    this structure (who is granted next when frames return) are therefore
+    deterministic for a deterministic push sequence, the same discipline as
+    {!Sim_heap} on the event side.
+
+    Every operation is O(log n) in the number of queued entries; [peek] is
+    O(1). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:float -> balance:float -> 'a -> int
+(** Insert with the next internal sequence number (monotone across the
+    queue's lifetime) and return it. Higher [priority] pops first; equal
+    priorities order by higher [balance]; full ties are FIFO by sequence
+    number. *)
+
+val push_seq : 'a t -> priority:float -> balance:float -> seq:int -> 'a -> unit
+(** Re-insert an entry under a sequence number obtained from an earlier
+    {!push} (or {!pop}), preserving its original FIFO position — used to
+    put a partially served head entry back at the front of its key class. *)
+
+val pop : 'a t -> (float * float * int * 'a) option
+(** Remove and return the maximum entry as
+    [(priority, balance, seq, payload)], or [None] when empty. *)
+
+val peek : 'a t -> (float * float * int * 'a) option
+
+val clear : 'a t -> unit

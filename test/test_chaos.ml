@@ -557,6 +557,50 @@ let test_dbms_index_paging_storm () =
   check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine)
 
 (* ------------------------------------------------------------------ *)
+(* Memory market: a tenant storm with the disk failing under it        *)
+(* ------------------------------------------------------------------ *)
+
+(* A thousand interactive tenants arrive while the savers page their
+   working sets through a failing disk: a 200 ms outage window lands in
+   the middle of the first swap-out's writeback train (which starts around
+   t = 25 ms and runs one page_read_us-scale write at a time), so grants,
+   deferrals and refusals all happen while backing I/O is being retried
+   and abandoned. The run must stay conserved the same way the clean runs
+   are: incremental frame audit == scan audit, every frame owned, the
+   admission queue drained, every holding returned, and the market's
+   conservation identity intact with no balance driven below zero. *)
+let market_storm_config =
+  {
+    Wl_market.small with
+    c_name = "market-storm";
+    c_seed = 1337L;
+    c_saver_backing = Wl_market.Disk;
+    c_chaos =
+      Some
+        {
+          Chaos.default_spec with
+          write_error_p = 0.05;
+          outages = [ (50_000.0, 250_000.0) ];
+        };
+  }
+
+let test_market_storm () =
+  let r = Wl_market.run market_storm_config in
+  check_bool "the storm actually stormed" true (r.Wl_market.r_io_failures > 0);
+  check_bool "conserved (audits, queue, holdings, processes)" true r.Wl_market.r_conserved;
+  check_bool "no drams minted or destroyed" true (r.Wl_market.r_conservation_residual < 1e-9);
+  check_bool "no negative balances" true (r.Wl_market.r_min_balance >= 0.0);
+  check_int "every tenant accounted for" r.Wl_market.r_tenants
+    (r.Wl_market.r_completed + r.Wl_market.r_refused);
+  check_bool "admission control engaged mid-storm" true (r.Wl_market.r_defer_events > 0);
+  check_bool "savers kept cycling" true (r.Wl_market.r_saver_cycles > 0)
+
+let test_market_storm_replay () =
+  let a = Wl_market.run market_storm_config in
+  let b = Wl_market.run market_storm_config in
+  check_bool "storm replays seed-for-seed" true (a = b)
+
+(* ------------------------------------------------------------------ *)
 (* The full experiment: every scenario, run twice, replay-equal        *)
 (* ------------------------------------------------------------------ *)
 
@@ -624,6 +668,11 @@ let () =
       ( "dbms manager",
         [ Alcotest.test_case "index paging through a read storm" `Quick
             test_dbms_index_paging_storm ] );
+      ( "memory market",
+        [
+          Alcotest.test_case "tenant storm under disk faults" `Quick test_market_storm;
+          Alcotest.test_case "storm replays seed-for-seed" `Quick test_market_storm_replay;
+        ] );
       ( "experiment",
         [
           Alcotest.test_case "all scenarios, replayed" `Quick test_exp_chaos_end_to_end;
