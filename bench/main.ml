@@ -98,7 +98,16 @@ let reproduce () =
   let oc = open_out "BENCH_market.json" in
   output_string oc (Exp_market.render_json market);
   close_out oc;
-  print_endline "(machine-readable record written to BENCH_market.json)"
+  print_endline "(machine-readable record written to BENCH_market.json)";
+  line ();
+  print_endline "Tier: single-tier vs tiered frame placement";
+  line ();
+  let tier = Exp_tier.run () in
+  print_string (Exp_tier.render tier);
+  let oc = open_out "BENCH_tier.json" in
+  output_string oc (Exp_tier.render_json tier);
+  close_out oc;
+  print_endline "(machine-readable record written to BENCH_tier.json)"
 
 (* One Test.make per table/figure. Table 4 runs in its quick (60 s
    simulated) configuration here so a Bechamel sample stays subsecond. *)
@@ -114,6 +123,8 @@ let tests =
       Test.make ~name:"chaos.storms" (Staged.stage (fun () -> ignore (Exp_chaos.run ())));
       Test.make ~name:"market.small"
         (Staged.stage (fun () -> ignore (Exp_market.run ~quick:true ())));
+      Test.make ~name:"tier.placement"
+        (Staged.stage (fun () -> ignore (Exp_tier.run ~quick:true ())));
     ]
 
 let benchmark () =

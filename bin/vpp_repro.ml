@@ -59,23 +59,45 @@ let run_perf quick json jobs out () =
   end;
   if not (Exp_report.all_pass r.Exp_scale.checks) then exit 1
 
-let run_perf_validate file () =
+(* One validator per record schema; the [validate] command dispatches on
+   the record's own "schema" tag, so callers need not know which command
+   produced a file. *)
+let validators =
+  [
+    (Exp_scale.schema_version, Exp_scale.validate_json);
+    (Exp_market.schema_version, Exp_market.validate_json);
+    (Exp_profile.schema_version, Exp_profile.validate_json);
+    (Exp_tier.schema_version, Exp_tier.validate_json);
+  ]
+
+let run_validate file () =
   let contents =
     try In_channel.with_open_text file In_channel.input_all
     with Sys_error e ->
       Printf.eprintf "%s\n" e;
       exit 1
   in
+  let known () = String.concat ", " (List.map fst validators) in
   match Sim_json.parse contents with
   | Error e ->
       Printf.eprintf "%s: JSON parse error: %s\n" file e;
       exit 1
   | Ok json -> (
-      match Exp_scale.validate_json json with
-      | Ok () -> Printf.printf "%s: valid %s record\n" file Exp_scale.schema_version
-      | Error e ->
-          Printf.eprintf "%s: invalid %s record: %s\n" file Exp_scale.schema_version e;
-          exit 1)
+      match Option.bind (Sim_json.member "schema" json) Sim_json.to_str with
+      | None ->
+          Printf.eprintf "%s: record has no \"schema\" tag (known schemas: %s)\n" file (known ());
+          exit 1
+      | Some tag -> (
+          match List.assoc_opt tag validators with
+          | None ->
+              Printf.eprintf "%s: unknown schema %S (known schemas: %s)\n" file tag (known ());
+              exit 1
+          | Some validate -> (
+              match validate json with
+              | Ok () -> Printf.printf "%s: valid %s record\n" file tag
+              | Error e ->
+                  Printf.eprintf "%s: invalid %s record: %s\n" file tag e;
+                  exit 1)))
 
 let run_market quick json jobs out () =
   let r = Exp_market.run ~quick ?jobs () in
@@ -90,23 +112,18 @@ let run_market quick json jobs out () =
   end;
   if not (Exp_report.all_pass r.Exp_market.checks) then exit 1
 
-let run_market_validate file () =
-  let contents =
-    try In_channel.with_open_text file In_channel.input_all
-    with Sys_error e ->
-      Printf.eprintf "%s\n" e;
-      exit 1
-  in
-  match Sim_json.parse contents with
-  | Error e ->
-      Printf.eprintf "%s: JSON parse error: %s\n" file e;
-      exit 1
-  | Ok json -> (
-      match Exp_market.validate_json json with
-      | Ok () -> Printf.printf "%s: valid %s record\n" file Exp_market.schema_version
-      | Error e ->
-          Printf.eprintf "%s: invalid %s record: %s\n" file Exp_market.schema_version e;
-          exit 1)
+let run_tier quick json out () =
+  let r = Exp_tier.run ~quick () in
+  let record = Exp_tier.render_json r in
+  let oc = open_out out in
+  output_string oc record;
+  close_out oc;
+  if json then print_string record
+  else begin
+    print_string (Exp_tier.render r);
+    Printf.printf "(machine-readable record written to %s)\n" out
+  end;
+  if not (Exp_report.all_pass r.Exp_tier.checks) then exit 1
 
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Shorten the Table 4 simulation (60s instead of 300s).")
@@ -150,6 +167,11 @@ let market_out_opt =
     value & opt string "BENCH_market.json"
     & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the vpp-market/1 record.")
 
+let tier_out_opt =
+  Arg.(
+    value & opt string "BENCH_tier.json"
+    & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the vpp-tier/1 record.")
+
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Record to validate.")
 
@@ -178,14 +200,22 @@ let () =
         "Simulator throughput at 8 MB/512 MB/4 GB machine sizes plus the parallel-driver \
          timing (the vpp-perf/1 record; not a paper table)"
         Term.(const run_perf $ quick_flag $ json_flag $ perf_jobs_opt $ out_opt $ const ());
-      cmd "perf-validate" "Validate a vpp-perf/1 record written by perf or bench"
-        Term.(const run_perf_validate $ file_arg $ const ());
+      cmd "perf-validate" "Deprecated alias for $(b,validate)"
+        Term.(const run_validate $ file_arg $ const ());
       cmd "market"
         "Multi-tenant memory market at production scale: admission control, lazy settlement \
          and per-class SLOs (the vpp-market/1 record; not a paper table)"
         Term.(const run_market $ quick_flag $ json_flag $ perf_jobs_opt $ market_out_opt $ const ());
-      cmd "market-validate" "Validate a vpp-market/1 record written by market or bench"
-        Term.(const run_market_validate $ file_arg $ const ());
+      cmd "market-validate" "Deprecated alias for $(b,validate)"
+        Term.(const run_validate $ file_arg $ const ());
+      cmd "tier"
+        "Single-tier vs tiered frame placement: a tier-oblivious pager against Mgr_tiered's \
+         hot/cold migration on the same traces (the vpp-tier/1 record; not a paper table)"
+        Term.(const run_tier $ quick_flag $ json_flag $ tier_out_opt $ const ());
+      cmd "validate"
+        "Validate any versioned record (vpp-perf/1, vpp-market/1, vpp-profile/1, vpp-tier/1), \
+         dispatching on its embedded schema tag"
+        Term.(const run_validate $ file_arg $ const ());
       cmd "all" "Every table and figure" Term.(const run_all $ quick_flag $ jobs_opt $ const ());
     ]
   in

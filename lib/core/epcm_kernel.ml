@@ -20,6 +20,7 @@ type error =
   | Fault_recursion of { manager : int; depth : int }
   | Unresolved_fault of { seg : int; page : int }
   | Initial_segment_operation
+  | Tier_mismatch of { seg : int; page : int; frame : int; want : int; got : int }
 
 exception Error of error
 
@@ -46,6 +47,9 @@ let error_to_string = function
   | Unresolved_fault { seg; page } ->
       Printf.sprintf "manager returned without resolving fault at segment %d page %d" seg page
   | Initial_segment_operation -> "operation not permitted on the initial segment"
+  | Tier_mismatch { seg; page; frame; want; got } ->
+      Printf.sprintf "segment %d page %d holds frame %d of tier %d, not the requested tier %d"
+        seg page frame got want
 
 let fail e = raise (Error e)
 
@@ -116,15 +120,22 @@ let fresh_stats () =
 let charge ?label t us = Machine.charge ?label t.machine us
 let cost t = t.machine.Machine.cost
 
+(* Every segment's per-tier resident counters follow the machine's real
+   tier layout. *)
+let make_segment machine ~sid ~name ~page_size ~pages =
+  let mem = machine.Machine.mem in
+  Seg.make ~n_tiers:(Phys.n_tiers mem) ~tier_of:(Phys.tier_of_frame mem) ~sid ~name ~page_size
+    ~pages ()
+
 let create machine =
   let n = Machine.n_frames machine in
   let init =
-    Seg.make ~sid:0 ~name:"initial-frame-segment" ~page_size:(Machine.page_size machine)
-      ~pages:n
+    make_segment machine ~sid:0 ~name:"initial-frame-segment"
+      ~page_size:(Machine.page_size machine) ~pages:n
   in
   for i = 0 to n - 1 do
     Seg.set_frame init i (Some i);
-    (Phys.frame machine.Machine.mem i).Phys.owner <- 0
+    Phys.set_owner machine.Machine.mem i 0
   done;
   let segments = Hashtbl.create 64 in
   Hashtbl.replace segments 0 init;
@@ -200,7 +211,7 @@ let create_segment t ?page_size ?manager:mgr ~name ~pages () =
   (match mgr with Some m -> ignore (manager t m) | None -> ());
   let sid = t.next_seg in
   t.next_seg <- t.next_seg + 1;
-  let seg = Seg.make ~sid ~name ~page_size ~pages in
+  let seg = make_segment t.machine ~sid ~name ~page_size ~pages in
   seg.Seg.manager <- mgr;
   Hashtbl.replace t.segments sid seg;
   charge ~label:"kernel/segment_ctl" t (cost t).Hw_cost.syscall_base;
@@ -308,18 +319,42 @@ let migrate_one t ~src_seg ~dst_seg ~src_page ~dst_page =
   d_slot.Seg.flags <- s_slot.Seg.flags;
   Seg.set_frame src_seg src_page None;
   s_slot.Seg.flags <- Flags.empty;
-  (Phys.frame t.machine.Machine.mem frame_idx).Phys.owner <- dst_seg.Seg.sid;
+  Phys.set_owner t.machine.Machine.mem frame_idx dst_seg.Seg.sid;
   invalidate_slot t ~seg:src_seg.Seg.sid ~page:src_page;
   invalidate_slot t ~seg:dst_seg.Seg.sid ~page:dst_page;
   d_slot
 
-let migrate_pages t ~src ~dst ~src_page ~dst_page ~count ?(set_flags = Flags.empty)
-    ?(clear_flags = Flags.empty) () =
+let migrate_pages t ~src ~dst ~src_page ~dst_page ~count ?tier:want_tier
+    ?(set_flags = Flags.empty) ?(clear_flags = Flags.empty) () =
   let src_seg = segment t src and dst_seg = segment t dst in
   if src_seg.Seg.seg_page_size <> dst_seg.Seg.seg_page_size then
     fail (Page_size_mismatch { src; dst });
   check_range src_seg src_page count;
   check_range dst_seg dst_page count;
+  let mem = t.machine.Machine.mem in
+  (match want_tier with
+  | Some k when k < 0 || k >= Phys.n_tiers mem ->
+      invalid_arg (Printf.sprintf "Epcm_kernel.migrate_pages: tier %d out of range" k)
+  | _ -> ());
+  (* Tier pass: validate the requested placement tier and total the
+     per-page tier surcharges. A single-tier machine skips it entirely —
+     every frame is tier 0 with zero surcharge — keeping the flat-machine
+     hot path untouched. *)
+  if Phys.n_tiers mem > 1 then begin
+    let extra = ref 0.0 in
+    for i = 0 to count - 1 do
+      match (Seg.page src_seg (src_page + i)).Seg.frame with
+      | None -> ()  (* migrate_one reports No_frame below *)
+      | Some f ->
+          let got = Phys.tier_of_frame mem f in
+          (match want_tier with
+          | Some want when got <> want ->
+              fail (Tier_mismatch { seg = src; page = src_page + i; frame = f; want; got })
+          | _ -> ());
+          extra := !extra +. Phys.tier_migrate_us mem got
+    done;
+    charge ~label:"kernel/tier_migrate" t !extra
+  end;
   let c = cost t in
   charge ~label:"kernel/migrate" t
     (c.Hw_cost.syscall_base +. c.Hw_cost.migrate_base
@@ -385,7 +420,7 @@ let return_frame_to_initial t frame_idx =
   let slot = Seg.page init slot_idx in
   Seg.set_frame init slot_idx (Some frame_idx);
   slot.Seg.flags <- Flags.empty;
-  (Phys.frame t.machine.Machine.mem frame_idx).Phys.owner <- t.init_seg
+  Phys.set_owner t.machine.Machine.mem frame_idx t.init_seg
 
 let release_frames t ~seg ~page ~count =
   if seg = t.init_seg then fail Initial_segment_operation;
@@ -585,12 +620,26 @@ let touch t ~space ~page ~access =
       | Some _ -> ()
       | None ->
           charge ~label:"kernel/tlb_refill" t c.Hw_cost.tlb_refill;
-          Tlb.fill tlb ~space ~vpn:page ~frame)
+          Tlb.fill tlb ~space ~vpn:page ~frame);
+      (* Far-memory latency premium: every reference to a slow-tier frame
+         pays it, not just the faulting one. Single-tier machines skip the
+         pass (and tier 0 charges zero anyway), keeping the warm path
+         byte-identical and allocation-free on flat machines. *)
+      let mem = t.machine.Machine.mem in
+      if Phys.n_tiers mem > 1 then
+        charge ~label:"kernel/tier_access" t
+          (Phys.tier_access_us mem (Phys.tier_of_frame mem frame))
   | Some _ | None ->
       (* Mapping-hash miss (or insufficient protection): walk segments. *)
       let t0 = Machine.now t.machine in
       charge ~label:"kernel/segment_walk" t c.Hw_cost.segment_walk;
       let frame, oseg_id, opage, flags, via_cow = ensure_resident t ~space ~page ~access ~attempts:0 in
+      (* Tier surcharge for resolving onto far memory. Single-tier
+         machines skip the lookup; tier 0 there charges zero anyway. *)
+      let mem = t.machine.Machine.mem in
+      if Phys.n_tiers mem > 1 then
+        charge ~label:"kernel/tier_access" t
+          (Phys.tier_access_us mem (Phys.tier_of_frame mem frame));
       let prot = resolved_prot ~flags ~via_cow in
       Pt.insert pt ~space ~vpn:page ~frame ~prot;
       Tlb.fill tlb ~space ~vpn:page ~frame;
@@ -653,9 +702,38 @@ let audit_with resident t =
 
 let frame_owner_audit t = audit_with Seg.resident_pages t
 let frame_owner_audit_scan t = audit_with Seg.resident_pages_scan t
+let frame_owner_audit_tiered t = audit_with Seg.resident_pages_by_tier t
+let frame_owner_audit_tiered_scan t = audit_with Seg.resident_pages_by_tier_scan t
 
 let frame_owner_total t =
   List.fold_left (fun acc (_, n) -> acc + n) 0 (frame_owner_audit t)
+
+(* Free-frame selection, optionally scoped by tier: initial-segment slots
+   currently holding frames (of the tier), ascending, up to [limit]. Same
+   scan the SPCM's [free_slots] does, with the tier filter the tiered
+   managers use to refill their per-tier pools. *)
+let initial_slots ?tier t ~limit =
+  let init = segment t t.init_seg in
+  let mem = t.machine.Machine.mem in
+  let matches f = match tier with None -> true | Some k -> Phys.tier_of_frame mem f = k in
+  let n = Seg.length init in
+  let acc = ref [] and found = ref 0 and i = ref 0 in
+  while !found < limit && !i < n do
+    (match (Seg.page init !i).Seg.frame with
+    | Some f when matches f ->
+        acc := !i :: !acc;
+        incr found
+    | Some _ | None -> ());
+    incr i
+  done;
+  List.rev !acc
+
+let free_frames_in_tier t ~tier =
+  let init = segment t t.init_seg in
+  let counts = Seg.resident_pages_by_tier init in
+  if tier < 0 || tier >= Array.length counts then
+    invalid_arg (Printf.sprintf "Epcm_kernel.free_frames_in_tier: tier %d out of range" tier);
+  counts.(tier)
 
 let render_address_space t sid =
   let seg = segment t sid in

@@ -28,6 +28,9 @@ type error =
   | Unresolved_fault of { seg : int; page : int }
       (** A manager's fault handler returned without mapping a frame. *)
   | Initial_segment_operation
+  | Tier_mismatch of { seg : int; page : int; frame : int; want : int; got : int }
+      (** [MigratePages ~tier] found a source frame outside the requested
+          memory tier. *)
 
 exception Error of error
 
@@ -132,6 +135,7 @@ val migrate_pages :
   src_page:int ->
   dst_page:int ->
   count:int ->
+  ?tier:int ->
   ?set_flags:Epcm_flags.t ->
   ?clear_flags:Epcm_flags.t ->
   unit ->
@@ -139,7 +143,15 @@ val migrate_pages :
 (** [MigratePages]: move page frames (and their contents and flags) from
     [src] to [dst], applying the set/clear masks. Destination slots must be
     empty; source slots must be resident. All translations for both slots
-    are invalidated. *)
+    are invalidated.
+
+    [tier], when given, asserts every moved frame belongs to that memory
+    tier (placement control: a manager demanding fast-DRAM frames);
+    otherwise the call fails with {!error.Tier_mismatch} before any page
+    moves. On multi-tier machines each moved page also charges its tier's
+    [tier_migrate_us] surcharge (label ["kernel/tier_migrate"]); on a
+    single-tier machine the pass is skipped entirely, so flat machines are
+    byte-identical to the pre-tier kernel. *)
 
 val modify_page_flags :
   t ->
@@ -208,6 +220,26 @@ val frame_owner_total : t -> int
 (** The sum of {!frame_owner_audit}: total frames owned by live segments.
     Chaos scenarios assert it equals the machine's frame count after every
     fault storm — injected failures must never leak a frame. *)
+
+val frame_owner_audit_tiered : t -> (int * int array) list
+(** Per-tier conservation: (segment id, resident frames per memory tier)
+    for all live segments, from the incremental per-tier counters. Summing
+    tier column [k] over all segments always equals tier [k]'s frame
+    count. *)
+
+val frame_owner_audit_tiered_scan : t -> (int * int array) list
+(** The per-tier audit computed by scanning every page array — the
+    O(segments × pages) reference {!frame_owner_audit_tiered} is pinned
+    against. *)
+
+val initial_slots : ?tier:int -> t -> limit:int -> int list
+(** Free-frame selection: up to [limit] initial-segment slots currently
+    holding frames, ascending — restricted to one memory tier when [tier]
+    is given. This is how tier-aware managers refill per-tier pools. *)
+
+val free_frames_in_tier : t -> tier:int -> int
+(** Frames of a tier currently in the initial segment — O(tiers), from the
+    initial segment's per-tier resident counters. *)
 
 val render_address_space : t -> Epcm_segment.id -> string
 (** Figure 1-style dump of a composed address space. *)

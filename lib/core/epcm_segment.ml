@@ -22,13 +22,16 @@ type t = {
   mutable bindings : binding array;
   mutable alive : bool;
   mutable resident : int;
+  tier_of : int -> int;
+  resident_by_tier : int array;
 }
 
 let fresh_page () = { frame = None; flags = Epcm_flags.empty }
 
-let make ~sid ~name ~page_size ~pages =
+let make ?(n_tiers = 1) ?(tier_of = fun _ -> 0) ~sid ~name ~page_size ~pages () =
   if pages < 0 then invalid_arg "Epcm_segment.make: negative size";
   if page_size <= 0 then invalid_arg "Epcm_segment.make: page_size must be positive";
+  if n_tiers <= 0 then invalid_arg "Epcm_segment.make: n_tiers must be positive";
   {
     sid;
     sname = name;
@@ -38,6 +41,8 @@ let make ~sid ~name ~page_size ~pages =
     bindings = [||];
     alive = true;
     resident = 0;
+    tier_of;
+    resident_by_tier = Array.make n_tiers 0;
   }
 
 let length t = Array.length t.pages
@@ -48,12 +53,30 @@ let page t p =
     invalid_arg (Printf.sprintf "Epcm_segment.page: page %d out of range of segment %d" p t.sid);
   t.pages.(p)
 
+let tier_count t f =
+  let k = t.tier_of f in
+  if k < 0 || k >= Array.length t.resident_by_tier then
+    invalid_arg (Printf.sprintf "Epcm_segment.set_frame: frame %d maps to unknown tier %d" f k);
+  k
+
 let set_frame t p frame =
   let slot = page t p in
   (match (slot.frame, frame) with
-  | None, Some _ -> t.resident <- t.resident + 1
-  | Some _, None -> t.resident <- t.resident - 1
-  | None, None | Some _, Some _ -> ());
+  | None, Some f ->
+      t.resident <- t.resident + 1;
+      let k = tier_count t f in
+      t.resident_by_tier.(k) <- t.resident_by_tier.(k) + 1
+  | Some f, None ->
+      t.resident <- t.resident - 1;
+      let k = tier_count t f in
+      t.resident_by_tier.(k) <- t.resident_by_tier.(k) - 1
+  | Some f0, Some f1 ->
+      let k0 = tier_count t f0 and k1 = tier_count t f1 in
+      if k0 <> k1 then begin
+        t.resident_by_tier.(k0) <- t.resident_by_tier.(k0) - 1;
+        t.resident_by_tier.(k1) <- t.resident_by_tier.(k1) + 1
+      end
+  | None, None -> ());
   slot.frame <- frame
 
 (* [bindings] is kept sorted by [at]; regions are disjoint (enforced by the
@@ -102,6 +125,20 @@ let resident_pages t = t.resident
 
 let resident_pages_scan t =
   Array.fold_left (fun acc p -> if p.frame = None then acc else acc + 1) 0 t.pages
+
+let resident_pages_by_tier t = Array.copy t.resident_by_tier
+
+let resident_pages_by_tier_scan t =
+  let counts = Array.make (Array.length t.resident_by_tier) 0 in
+  Array.iter
+    (fun p ->
+      match p.frame with
+      | None -> ()
+      | Some f ->
+          let k = tier_count t f in
+          counts.(k) <- counts.(k) + 1)
+    t.pages;
+  counts
 
 let frames t =
   let acc = ref [] in

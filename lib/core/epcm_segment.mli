@@ -45,9 +45,25 @@ type t = {
   mutable alive : bool;
   mutable resident : int;
       (** Pages with a frame mapped; maintained by {!set_frame}. *)
+  tier_of : int -> int;  (** Frame index -> memory tier id. *)
+  resident_by_tier : int array;
+      (** Resident pages per memory tier; maintained by {!set_frame}. *)
 }
 
-val make : sid:id -> name:string -> page_size:int -> pages:int -> t
+val make :
+  ?n_tiers:int ->
+  ?tier_of:(int -> int) ->
+  sid:id ->
+  name:string ->
+  page_size:int ->
+  pages:int ->
+  unit ->
+  t
+(** [n_tiers] (default 1) sizes the per-tier resident counters; [tier_of]
+    (default [fun _ -> 0]) maps a frame index to its tier — the kernel
+    passes {!Hw_phys_mem.tier_of_frame} so the counters track the
+    machine's real tier layout. *)
+
 val length : t -> int
 val in_range : t -> int -> bool
 val page : t -> int -> page_state
@@ -76,6 +92,14 @@ val resident_pages : t -> int
 val resident_pages_scan : t -> int
 (** The same count by scanning the page array — O(pages). Kept as the
     reference the equivalence tests pin {!resident_pages} against. *)
+
+val resident_pages_by_tier : t -> int array
+(** Resident pages per memory tier — the incremental counters, O(tiers).
+    Sums to {!resident_pages}. *)
+
+val resident_pages_by_tier_scan : t -> int array
+(** The per-tier counts by scanning the page array — O(pages), the
+    reference {!resident_pages_by_tier} is pinned against. *)
 
 val frames : t -> int list
 (** All frames mapped in this segment, ascending page order. *)

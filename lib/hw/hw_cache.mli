@@ -29,3 +29,8 @@ val color_of : t -> phys_addr:int -> page_bytes:int -> int
     occupies. [sets * line_bytes / page_bytes] distinct colors. *)
 
 val n_colors : t -> page_bytes:int -> int
+(** How many distinct page colors this cache induces:
+    [sets * line_bytes / page_bytes] (at least 1 — a page larger than the
+    cache leaves a single color). This is the [n_colors] a machine's
+    physical memory should be built with for the coloring example to be
+    faithful to the cache geometry. *)

@@ -89,6 +89,19 @@ let sgi_4d_380 =
 
 let instructions_us t n = n /. t.mips
 
+type tier_costs = {
+  tier_access_us : float;
+  tier_migrate_us : float;
+}
+
+let dram_tier_costs = { tier_access_us = 0.0; tier_migrate_us = 0.0 }
+
+let slow_dram_tier_costs =
+  (* CXL/NVM-like far memory: roughly 3x DRAM load latency on the fault
+     path and a per-page surcharge when moving frames that live there.
+     Small against a 15 ms disk access, large against a 6 µs migrate. *)
+  { tier_access_us = 2.0; tier_migrate_us = 3.0 }
+
 let vpp_minimal_fault_in_process c =
   c.segment_walk +. c.trap_entry +. c.fault_decode +. c.upcall_deliver
   +. c.manager_fault_logic

@@ -92,6 +92,30 @@ val instructions_us : t -> float -> float
 (** [instructions_us t n] is the time to execute [n] instructions on one
     processor. *)
 
+(** {2 Memory-tier surcharges}
+
+    Per-tier extras layered {e on top of} the flat charges above when a
+    machine is built with several memory tiers ({!Hw_phys_mem.tier_spec}).
+    A plain DRAM tier charges zero for both, and zero-valued charges are
+    dropped by {!Hw_machine.charge} before they reach the engine — so a
+    single-DRAM-tier machine is cost-identical to an untier-aware one and
+    every pinned table stays byte-identical. *)
+
+type tier_costs = {
+  tier_access_us : float;
+      (** Extra charged once per fault-path resolution that lands on a
+          frame of this tier (label ["kernel/tier_access"]). *)
+  tier_migrate_us : float;
+      (** Extra charged per page of this tier moved by [MigratePages]
+          (label ["kernel/tier_migrate"]). *)
+}
+
+val dram_tier_costs : tier_costs
+(** All-zero: near DRAM, the 1992 baseline. *)
+
+val slow_dram_tier_costs : tier_costs
+(** CXL/NVM-like far memory: 2 µs access, 3 µs/page migrate extras. *)
+
 (** Derived path costs — the sums documented above, recomputed from the
     fields so tests can assert the calibration identities. *)
 

@@ -15,7 +15,7 @@ type t = {
 }
 
 let create ?(preset = Decstation_5000_200) ?(memory_bytes = 16 * 1024 * 1024)
-    ?(page_size = 4096) ?(n_colors = 16) ?(trace = false) ?disk_params () =
+    ?(page_size = 4096) ?(n_colors = 16) ?tiers ?(trace = false) ?disk_params () =
   let engine = Engine.create () in
   let cost =
     match preset with
@@ -25,7 +25,11 @@ let create ?(preset = Decstation_5000_200) ?(memory_bytes = 16 * 1024 * 1024)
   let metrics = Sim_metrics.create () in
   let disk = Hw_disk.create engine ?params:disk_params () in
   Hw_disk.set_metrics disk (Some metrics);
-  let mem = Hw_phys_mem.create ~n_colors ~page_size ~total_bytes:memory_bytes () in
+  let mem =
+    match tiers with
+    | None -> Hw_phys_mem.create ~n_colors ~page_size ~total_bytes:memory_bytes ()
+    | Some tiers -> Hw_phys_mem.create_tiered ~n_colors ~page_size ~tiers ()
+  in
   (* The mapping hash is sized to physical memory, like the inverted /
      hashed page tables it models (one entry per frame, 64K minimum so
      every paper-scale machine keeps the historical geometry). *)

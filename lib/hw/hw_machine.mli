@@ -19,6 +19,7 @@ val create :
   ?memory_bytes:int ->
   ?page_size:int ->
   ?n_colors:int ->
+  ?tiers:Hw_phys_mem.tier_spec list ->
   ?trace:bool ->
   ?disk_params:Hw_disk.params ->
   unit ->
@@ -26,7 +27,10 @@ val create :
 (** Defaults: DECstation preset, 16 MB memory (large enough for the unit
     tests; experiments pass their own size), 4 KB pages, 16 colors, trace
     off. The paper's machines: DECstation 5000/200 with 128 MB (Tables
-    1–3); SGI 4D/380 for Table 4. *)
+    1–3); SGI 4D/380 for Table 4. [tiers] builds a multi-tier memory
+    ({!Hw_phys_mem.create_tiered}) and supersedes [memory_bytes]; without
+    it, memory is one zero-surcharge DRAM tier and the machine behaves
+    byte-identically to the pre-tier model. *)
 
 val page_size : t -> int
 val n_frames : t -> int

@@ -1,33 +1,95 @@
+type tier_spec = {
+  t_name : string;
+  t_bytes : int;
+  t_costs : Hw_cost.tier_costs;
+}
+
+let dram_tier ~bytes =
+  { t_name = "dram"; t_bytes = bytes; t_costs = Hw_cost.dram_tier_costs }
+
+let slow_dram_tier ~bytes =
+  { t_name = "slow-dram"; t_bytes = bytes; t_costs = Hw_cost.slow_dram_tier_costs }
+
+type tier = {
+  ti_id : int;
+  ti_name : string;
+  ti_first : int;
+  ti_frames : int;
+  ti_access_us : float;
+  ti_migrate_us : float;
+}
+
 type frame = {
   index : int;
   addr : int;
   color : int;
+  tier : int;
   mutable data : Hw_page_data.t;
-  mutable owner : int;
 }
 
 type t = {
   page_size : int;
   n_colors : int;
   frames : frame array;
+  (* Frame ownership (which segment a frame is migrated into) lives in a
+     side array rather than a mutable frame field, so the only mutation
+     path is [set_owner] — the kernel — and the per-segment resident
+     counters cannot be bypassed. *)
+  owners : int array;
+  tiers : tier array;
   (* Frame indices per color, ascending — precomputed once so color
      queries never rescan the frame array. *)
   by_color : int array array;
 }
 
-let create ?(n_colors = 16) ~page_size ~total_bytes () =
+let create_tiered ?(n_colors = 16) ~page_size ~tiers () =
   if page_size <= 0 then invalid_arg "Hw_phys_mem.create: page_size must be positive";
   if n_colors <= 0 then invalid_arg "Hw_phys_mem.create: n_colors must be positive";
-  let n = total_bytes / page_size in
+  if tiers = [] then invalid_arg "Hw_phys_mem.create_tiered: need at least one tier";
+  let descs =
+    List.mapi
+      (fun id spec ->
+        let frames = spec.t_bytes / page_size in
+        if frames <= 0 then
+          invalid_arg
+            (Printf.sprintf "Hw_phys_mem.create_tiered: tier %S needs at least one page"
+               spec.t_name);
+        {
+          ti_id = id;
+          ti_name = spec.t_name;
+          ti_first = 0 (* fixed up below *);
+          ti_frames = frames;
+          ti_access_us = spec.t_costs.Hw_cost.tier_access_us;
+          ti_migrate_us = spec.t_costs.Hw_cost.tier_migrate_us;
+        })
+      tiers
+  in
+  let _, descs =
+    List.fold_left
+      (fun (first, acc) d -> (first + d.ti_frames, { d with ti_first = first } :: acc))
+      (0, []) descs
+  in
+  let tiers = Array.of_list (List.rev descs) in
+  let n = Array.fold_left (fun acc d -> acc + d.ti_frames) 0 tiers in
   if n <= 0 then invalid_arg "Hw_phys_mem.create: need at least one page";
+  (* Tiers partition the frame index space contiguously in declaration
+     order, so addr and color keep their flat-array identities and a
+     single-tier machine is structurally indistinguishable from the
+     pre-tier layout. *)
+  let tier_of =
+    let bounds = Array.map (fun d -> d.ti_first + d.ti_frames) tiers in
+    fun i ->
+      let rec find k = if i < bounds.(k) then k else find (k + 1) in
+      find 0
+  in
   let frames =
     Array.init n (fun i ->
         {
           index = i;
           addr = i * page_size;
           color = i mod n_colors;
+          tier = tier_of i;
           data = Hw_page_data.Zero;
-          owner = -1;
         })
   in
   let by_color =
@@ -35,7 +97,12 @@ let create ?(n_colors = 16) ~page_size ~total_bytes () =
         if c >= n then [||]
         else Array.init (((n - 1 - c) / n_colors) + 1) (fun j -> c + (j * n_colors)))
   in
-  { page_size; n_colors; frames; by_color }
+  { page_size; n_colors; frames; owners = Array.make n (-1); tiers; by_color }
+
+let create ?n_colors ~page_size ~total_bytes () =
+  if page_size <= 0 then invalid_arg "Hw_phys_mem.create: page_size must be positive";
+  if total_bytes / page_size <= 0 then invalid_arg "Hw_phys_mem.create: need at least one page";
+  create_tiered ?n_colors ~page_size ~tiers:[ dram_tier ~bytes:total_bytes ] ()
 
 let page_size t = t.page_size
 let n_frames t = Array.length t.frames
@@ -46,18 +113,64 @@ let frame t i =
     invalid_arg (Printf.sprintf "Hw_phys_mem.frame: index %d out of range" i);
   t.frames.(i)
 
-let frames_of_color t color =
+let n_tiers t = Array.length t.tiers
+
+let tier t k =
+  if k < 0 || k >= Array.length t.tiers then
+    invalid_arg (Printf.sprintf "Hw_phys_mem.tier: tier %d out of range" k);
+  t.tiers.(k)
+
+let tier_of_frame t i = (frame t i).tier
+let tier_access_us t k = (tier t k).ti_access_us
+let tier_migrate_us t k = (tier t k).ti_migrate_us
+let tier_bounds t k =
+  let d = tier t k in
+  (d.ti_first, d.ti_frames)
+
+let owner t i =
+  ignore (frame t i);
+  t.owners.(i)
+
+let set_owner t i o =
+  ignore (frame t i);
+  t.owners.(i) <- o
+
+(* The tier filter clamps the regular color pattern (frame i has color
+   i mod n_colors) to the tier's contiguous index interval — still
+   O(result), no scan. *)
+let frames_of_color ?tier:tk t color =
   if color < 0 || color >= t.n_colors then []
-  else Array.fold_right (fun i acc -> i :: acc) t.by_color.(color) []
+  else
+    match tk with
+    | None -> Array.fold_right (fun i acc -> i :: acc) t.by_color.(color) []
+    | Some k ->
+        let first, count = tier_bounds t k in
+        let limit = first + count in
+        let rem = (color - first) mod t.n_colors in
+        let start = first + (if rem < 0 then rem + t.n_colors else rem) in
+        let acc = ref [] in
+        let i = ref start in
+        while !i < limit do
+          acc := !i :: !acc;
+          i := !i + t.n_colors
+        done;
+        List.rev !acc
 
 (* Frames are laid out contiguously (addr = index * page_size), so an
    address interval is an index interval: no scan, no intermediate list. *)
-let frames_in_range t ~lo_addr ~hi_addr =
+let frames_in_range ?tier:tk t ~lo_addr ~hi_addr =
   let n = Array.length t.frames in
   if hi_addr <= 0 || hi_addr <= lo_addr then []
   else begin
     let lo = if lo_addr <= 0 then 0 else (lo_addr + t.page_size - 1) / t.page_size in
     let hi = min (n - 1) ((hi_addr - 1) / t.page_size) in
+    let lo, hi =
+      match tk with
+      | None -> (lo, hi)
+      | Some k ->
+          let first, count = tier_bounds t k in
+          (max lo first, min hi (first + count - 1))
+    in
     let acc = ref [] in
     for i = hi downto lo do
       acc := i :: !acc
@@ -74,9 +187,9 @@ let copy_frame t ~src ~dst =
 let owners_histogram t =
   let tbl = Hashtbl.create 16 in
   Array.iter
-    (fun f ->
-      let c = try Hashtbl.find tbl f.owner with Not_found -> 0 in
-      Hashtbl.replace tbl f.owner (c + 1))
-    t.frames;
+    (fun o ->
+      let c = try Hashtbl.find tbl o with Not_found -> 0 in
+      Hashtbl.replace tbl o (c + 1))
+    t.owners;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)

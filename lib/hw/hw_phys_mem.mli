@@ -1,24 +1,64 @@
-(** Physical memory: a fixed array of page frames.
+(** Physical memory: tier-indexed pools of page frames.
 
-    Frames carry their physical address, cache color and current contents.
+    Frames carry their physical address, cache color, memory tier and
+    current contents. A machine is built from one or more {e tiers} (fast
+    DRAM, slow CXL/NVM-like DRAM, …), each a contiguous run of frames with
+    its own per-access / per-migration {!Hw_cost.tier_costs} surcharges.
+    Tiers partition the frame index space in declaration order, so
+    [addr = index * page_size] and [color = index mod n_colors] hold
+    exactly as they did when memory was one flat array — a single-DRAM-tier
+    machine is structurally and cost-wise identical to the pre-tier model.
+
     Who {e owns} a frame (which segment it is migrated into) is the
     kernel's business, not the hardware's; the kernel records an opaque
     integer owner tag here purely so invariant checks ("every frame is in
-    exactly one segment") can audit the whole machine. *)
+    exactly one segment") can audit the whole machine. The tag is only
+    writable through {!set_owner} — the kernel's single mutation point,
+    mirroring the [Epcm_segment.set_frame] discipline — so the per-segment
+    resident counters cannot be bypassed. *)
+
+type tier_spec = {
+  t_name : string;
+  t_bytes : int;  (** Capacity; rounded down to whole pages, at least one. *)
+  t_costs : Hw_cost.tier_costs;
+}
+
+val dram_tier : bytes:int -> tier_spec
+(** Plain DRAM: zero surcharges. [create] wraps the whole machine in one
+    of these. *)
+
+val slow_dram_tier : bytes:int -> tier_spec
+(** Far memory with {!Hw_cost.slow_dram_tier_costs} surcharges. *)
+
+(** A tier descriptor as built at {!create_tiered} time: its contiguous
+    frame interval plus the flattened cost surcharges. *)
+type tier = {
+  ti_id : int;
+  ti_name : string;
+  ti_first : int;  (** First frame index of the tier. *)
+  ti_frames : int;  (** Frame count. *)
+  ti_access_us : float;
+  ti_migrate_us : float;
+}
 
 type frame = {
   index : int;  (** Frame number, [0 .. n_frames-1]. *)
   addr : int;  (** Physical byte address of the frame. *)
   color : int;  (** [addr / page_size mod n_colors] — cache color. *)
+  tier : int;  (** Tier id, [0 .. n_tiers-1]. *)
   mutable data : Hw_page_data.t;
-  mutable owner : int;  (** Opaque tag maintained by the kernel; -1 = none. *)
 }
 
 type t
 
 val create : ?n_colors:int -> page_size:int -> total_bytes:int -> unit -> t
-(** [n_colors] defaults to 16. [total_bytes] is rounded down to a whole
+(** One ["dram"] tier covering all of memory — the flat pre-tier machine.
+    [n_colors] defaults to 16. [total_bytes] is rounded down to a whole
     number of pages; at least one page is required. *)
+
+val create_tiered : ?n_colors:int -> page_size:int -> tiers:tier_spec list -> unit -> t
+(** Frames laid out tier by tier in list order (tier 0 first). Each tier
+    needs at least one page. *)
 
 val page_size : t -> int
 val n_frames : t -> int
@@ -27,14 +67,34 @@ val n_colors : t -> int
 val frame : t -> int -> frame
 (** Raises [Invalid_argument] for an out-of-range index. *)
 
-val frames_of_color : t -> int -> int list
-(** Frame indices with the given color, ascending. Served from a per-color
-    index precomputed at {!create}: O(result), no frame-array scan. *)
+val n_tiers : t -> int
 
-val frames_in_range : t -> lo_addr:int -> hi_addr:int -> int list
-(** Frame indices whose physical address lies in [lo_addr, hi_addr).
-    Frames are contiguous, so the interval maps to index arithmetic:
+val tier : t -> int -> tier
+(** Raises [Invalid_argument] for an out-of-range tier id. *)
+
+val tier_of_frame : t -> int -> int
+val tier_access_us : t -> int -> float
+val tier_migrate_us : t -> int -> float
+
+val tier_bounds : t -> int -> int * int
+(** [(first, count)]: the tier's contiguous frame-index interval. *)
+
+val owner : t -> int -> int
+(** The kernel's owner tag for a frame; -1 = none. *)
+
+val set_owner : t -> int -> int -> unit
+(** Kernel-only mutation point for the owner tag. *)
+
+val frames_of_color : ?tier:int -> t -> int -> int list
+(** Frame indices with the given color, ascending, optionally restricted
+    to one tier. Served from a per-color index precomputed at {!create}
+    (tier scoping clamps the regular color pattern to the tier interval):
     O(result), no frame-array scan. *)
+
+val frames_in_range : ?tier:int -> t -> lo_addr:int -> hi_addr:int -> int list
+(** Frame indices whose physical address lies in [lo_addr, hi_addr),
+    optionally intersected with one tier. Frames are contiguous, so the
+    interval maps to index arithmetic: O(result), no frame-array scan. *)
 
 val zero_frame : t -> int -> unit
 val copy_frame : t -> src:int -> dst:int -> unit

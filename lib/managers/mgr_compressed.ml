@@ -69,28 +69,45 @@ let enforce_budget t =
         t.spills <- t.spills + 1
   done
 
+(* The compressed-store backend interface: stash compresses data in under
+   (seg, page); fetch decompresses it back out (falling through to the
+   spill area on disk); has reports whether either level holds the page.
+   [on_fault] below and {!Mgr_tiered}'s coldest tier both sit on these. *)
+
+let stash t ~seg ~page data =
+  t.compressions <- t.compressions + 1;
+  t.seq <- t.seq + 1;
+  charge ~label:"mgr/compress" t t.cfg.compress_us;
+  Hashtbl.replace t.store (seg, page) { e_data = data; e_seq = t.seq };
+  enforce_budget t
+
+let fetch t ~seg ~page =
+  match Hashtbl.find_opt t.store (seg, page) with
+  | Some e ->
+      (* Decompression beats the disk by two orders of magnitude. *)
+      t.decompressions <- t.decompressions + 1;
+      charge ~label:"mgr/decompress" t t.cfg.decompress_us;
+      Hashtbl.remove t.store (seg, page);
+      Some e.e_data
+  | None ->
+      if Mgr_backing.has_block t.backing ~file:(-seg) ~block:page then begin
+        t.disk_fills <- t.disk_fills + 1;
+        Some (Mgr_backing.read_block t.backing ~file:(-seg) ~block:page)
+      end
+      else None
+
+let has t ~seg ~page =
+  Hashtbl.mem t.store (seg, page) || Mgr_backing.has_block t.backing ~file:(-seg) ~block:page
+
 let on_fault t (fault : Mgr.fault) =
   let machine = K.machine t.kern in
   Hw_machine.charge ~label:"mgr/fault_logic" machine machine.Hw_machine.cost.Hw_cost.manager_fault_logic;
   match fault.Mgr.f_kind with
   | Mgr.Missing | Mgr.Cow_write ->
-      let key = (fault.Mgr.f_seg, fault.Mgr.f_page) in
       ensure_pool t 1;
-      (match Hashtbl.find_opt t.store key with
-      | Some e ->
-          (* Decompression beats the disk by two orders of magnitude. *)
-          t.decompressions <- t.decompressions + 1;
-          charge ~label:"mgr/decompress" t t.cfg.decompress_us;
-          Hashtbl.remove t.store key;
-          Mgr_free_pages.set_next_data t.pool e.e_data
-      | None ->
-          if Mgr_backing.has_block t.backing ~file:(-fault.Mgr.f_seg) ~block:fault.Mgr.f_page
-          then begin
-            t.disk_fills <- t.disk_fills + 1;
-            Mgr_free_pages.set_next_data t.pool
-              (Mgr_backing.read_block t.backing ~file:(-fault.Mgr.f_seg)
-                 ~block:fault.Mgr.f_page)
-          end);
+      (match fetch t ~seg:fault.Mgr.f_seg ~page:fault.Mgr.f_page with
+      | Some data -> Mgr_free_pages.set_next_data t.pool data
+      | None -> ());
       let moved =
         Mgr_free_pages.take_to t.pool ~dst:fault.Mgr.f_seg ~dst_page:fault.Mgr.f_page ~count:1
           ~clear_flags:Flags.dirty ()
@@ -136,14 +153,10 @@ let evict t ~seg ~page =
   | None -> ()
   | Some frame ->
       let data = (Hw_phys_mem.frame (K.machine t.kern).Hw_machine.mem frame).Hw_phys_mem.data in
-      t.compressions <- t.compressions + 1;
-      t.seq <- t.seq + 1;
-      charge ~label:"mgr/compress" t t.cfg.compress_us;
-      Hashtbl.replace t.store (seg, page) { e_data = data; e_seq = t.seq };
+      stash t ~seg ~page data;
       (if Mgr_free_pages.room t.pool = 0 then
          ignore (Mgr_free_pages.release_to_initial t.pool ~count:16));
-      Mgr_free_pages.put_from t.pool ~src:seg ~src_page:page;
-      enforce_budget t
+      Mgr_free_pages.put_from t.pool ~src:seg ~src_page:page
 
 let resident t ~seg = Seg.resident_pages (K.segment t.kern seg)
 let compressed_entries t = Hashtbl.length t.store

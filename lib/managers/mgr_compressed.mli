@@ -37,6 +37,25 @@ val create_segment : t -> name:string -> pages:int -> Epcm_segment.id
 val evict : t -> seg:Epcm_segment.id -> page:int -> unit
 (** Compress the page into the pool and reclaim its frame. *)
 
+(** {2 Backend interface}
+
+    The raw compressed store, without the frame movement of {!evict} /
+    the fault handler. {!Mgr_tiered} uses these as its coldest tier:
+    demotion {!stash}es the page contents, promotion {!fetch}es them
+    back. Charges are identical to the {!evict}/fault paths
+    ([mgr/compress], [mgr/decompress], disk IO on spill/fill). *)
+
+val stash : t -> seg:Epcm_segment.id -> page:int -> Hw_page_data.t -> unit
+(** Compress [data] into the store under ([seg], [page]), spilling the
+    oldest entries to disk if the budget overflows. *)
+
+val fetch : t -> seg:Epcm_segment.id -> page:int -> Hw_page_data.t option
+(** Decompress-and-remove the entry for ([seg], [page]); falls back to
+    the disk spill area; [None] if neither level holds the page. *)
+
+val has : t -> seg:Epcm_segment.id -> page:int -> bool
+(** Whether {!fetch} would return [Some] (store or spill area). *)
+
 val resident : t -> seg:Epcm_segment.id -> int
 val compressed_entries : t -> int
 val pool_page_equivalents : t -> float

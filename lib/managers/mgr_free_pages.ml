@@ -22,12 +22,12 @@ let note_granted t n =
   if n < 0 || t.full + n > t.capacity then invalid_arg "Mgr_free_pages.note_granted";
   t.full <- t.full + n
 
-let take_to t ~dst ~dst_page ~count ?(set_flags = Epcm_flags.empty)
+let take_to t ~dst ~dst_page ~count ?tier ?(set_flags = Epcm_flags.empty)
     ?(clear_flags = Epcm_flags.empty) () =
   let n = min count t.full in
   if n > 0 then begin
     K.migrate_pages t.kernel ~src:t.seg ~dst ~src_page:(t.full - n) ~dst_page ~count:n
-      ~set_flags ~clear_flags ();
+      ?tier ~set_flags ~clear_flags ();
     t.full <- t.full - n
   end;
   n

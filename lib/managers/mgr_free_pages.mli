@@ -36,12 +36,16 @@ val take_to :
   dst:Epcm_segment.id ->
   dst_page:int ->
   count:int ->
+  ?tier:int ->
   ?set_flags:Epcm_flags.t ->
   ?clear_flags:Epcm_flags.t ->
   unit ->
   int
 (** Migrate up to [count] frames (one kernel call) from the pool to
-    [dst_page ..] of [dst]; returns how many moved (0 when empty). *)
+    [dst_page ..] of [dst]; returns how many moved (0 when empty).
+    [tier] forwards to {!Epcm_kernel.migrate_pages}: a tier-pure pool
+    (as {!Mgr_tiered} keeps) asserts every handed-out frame really is of
+    its tier. *)
 
 val put_from : t -> src:Epcm_segment.id -> src_page:int -> unit
 (** Reclaim: migrate the frame at ([src], [src_page]) into the pool.

@@ -1,0 +1,95 @@
+(** Tiered-memory segment manager: hot/cold placement across the
+    machine's frame tiers.
+
+    The tier-indexed physical memory ({!Hw_phys_mem.create_tiered}) gives
+    a manager frames with different access and migration costs. This
+    manager runs a three-level hierarchy over them, entirely with the
+    paper's external page-cache operations:
+
+    - {b fast tier} — pages fault in here ([MigratePages] with a tier
+      constraint from a tier-pure free-page pool).
+    - {b slow tier} — when the fast tier runs dry, a second-chance clock
+      (the same tombstoned-ring discipline as {!Mgr_generic}) demotes
+      cold pages onto slow-tier frames, contents intact, and protects
+      them with [no_access]. The next touch raises a protection fault and
+      the page is promoted back to a fast frame — that fault {e is} the
+      hotness signal, exactly the paper's §2.3 page-protection sampling.
+    - {b compressed store} — a second clock demotes cold slow-tier pages
+      into {!Mgr_compressed}'s store ({!Mgr_compressed.stash}); a later
+      missing fault fetches them back ({!Mgr_compressed.fetch}, falling
+      through to its disk spill area) into a fast frame.
+
+    Frames come straight from the kernel's initial segment
+    ({!Epcm_kernel.initial_slots} with a tier filter), so tier capacity
+    itself is the residency bound: the demotion cascade starts when a
+    tier's free frames run out.
+
+    Both pools are {e tier-pure} — every [take_to] passes [~tier], so the
+    kernel's [Tier_mismatch] check audits purity on each allocation. *)
+
+type stats = {
+  mutable fills : int;  (** Fresh pages faulted into the fast tier. *)
+  mutable refetches : int;
+      (** Missing faults served from the compressed store or its spill
+          area rather than a fresh fill. *)
+  mutable promotions : int;  (** Slow [->] fast, via protection fault. *)
+  mutable demotions_slow : int;  (** Fast [->] slow clock evictions. *)
+  mutable demotions_compressed : int;  (** Slow [->] compressed store. *)
+  mutable protection_clears : int;
+      (** Protection faults resolved in place (no promotion). *)
+  mutable cow_fills : int;
+}
+
+type t
+
+exception Out_of_frames of string
+(** Raised when a fault cannot secure a fast frame even after refill and
+    a full demotion sweep. *)
+
+val create :
+  Epcm_kernel.t ->
+  ?name:string ->
+  ?fast_tier:int ->
+  ?slow_tier:int ->
+  ?compressed_config:Mgr_compressed.config ->
+  ?fast_pool_capacity:int ->
+  ?slow_pool_capacity:int ->
+  ?refill_batch:int ->
+  ?reclaim_batch:int ->
+  unit ->
+  t
+(** Registers the manager and builds its private {!Mgr_compressed}
+    backend (whose own fault handler is never exercised — only
+    [stash]/[fetch] are used). [fast_tier] defaults to tier 0 and
+    [slow_tier] to tier 1; they must be distinct and in range for the
+    machine. *)
+
+val create_segment : t -> name:string -> pages:int -> Epcm_segment.id
+
+val adopt : t -> Epcm_segment.id -> unit
+(** Take over an existing segment; already-resident pages are entered
+    into the clock of whichever tier their frame belongs to. *)
+
+val kernel : t -> Epcm_kernel.t
+val manager_id : t -> Epcm_manager.id
+val managed : t -> Epcm_segment.id list
+val stats : t -> stats
+
+val compressed : t -> Mgr_compressed.t
+(** The coldest-tier backend (for its compression/spill statistics). *)
+
+val fast_tier : t -> int
+val slow_tier : t -> int
+
+val resident_by_tier : t -> seg:Epcm_segment.id -> int array
+(** Per-tier resident page counts of a segment (the kernel's incremental
+    counters — see {!Epcm_segment.resident_pages_by_tier}). *)
+
+val fast_available : t -> int
+val slow_available : t -> int
+
+val return_to_system : t -> pages:int -> int
+(** Release up to [pages] pooled frames (slow first) back to the initial
+    segment; returns how many. The registered pressure callback does the
+    same but declines (returns 0) when the manager is mid-fault, per the
+    no-blocking rule. *)

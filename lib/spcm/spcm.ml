@@ -6,6 +6,7 @@ type constraint_ =
   | Unconstrained
   | Color of int
   | Phys_range of { lo_addr : int; hi_addr : int }
+  | Tier of int
 
 type decision = Granted of int | Deferred | Refused
 
@@ -134,6 +135,7 @@ let free_slots t ~constraint_ ~limit =
     | Phys_range { lo_addr; hi_addr } ->
         let addr = (Phys.frame mem frame_idx).Phys.addr in
         addr >= lo_addr && addr < hi_addr
+    | Tier k -> Phys.tier_of_frame mem frame_idx = k
   in
   let acc = ref [] and found = ref 0 in
   let n = Seg.length init in

@@ -32,6 +32,7 @@ type constraint_ =
   | Unconstrained
   | Color of int
   | Phys_range of { lo_addr : int; hi_addr : int }
+  | Tier of int  (** Frames from one memory tier ({!Hw_phys_mem.tier}). *)
 
 type decision =
   | Granted of int  (** Frames migrated into the requested destination. *)

@@ -107,6 +107,73 @@ let test_phys_bad_create () =
     (Invalid_argument "Hw_phys_mem.create: need at least one page") (fun () ->
       ignore (Phys.create ~page_size:4096 ~total_bytes:100 ()))
 
+(* Tiers partition the frame index space in declaration order; address
+   and color arithmetic are unchanged across the tier boundary. *)
+let test_phys_tiered_layout () =
+  let m =
+    Phys.create_tiered ~n_colors:4 ~page_size:4096
+      ~tiers:[ Phys.dram_tier ~bytes:(6 * 4096); Phys.slow_dram_tier ~bytes:(10 * 4096) ]
+      ()
+  in
+  check_int "frames" 16 (Phys.n_frames m);
+  check_int "tiers" 2 (Phys.n_tiers m);
+  check_bool "tier 0 interval" true (Phys.tier_bounds m 0 = (0, 6));
+  check_bool "tier 1 interval" true (Phys.tier_bounds m 1 = (6, 10));
+  check_int "last fast frame" 0 (Phys.tier_of_frame m 5);
+  check_int "first slow frame" 1 (Phys.tier_of_frame m 6);
+  (* Address/color arithmetic is tier-blind: same as the flat machine. *)
+  check_int "addr crosses the boundary linearly" (7 * 4096) (Phys.frame m 7).Phys.addr;
+  check_int "color keeps cycling" 3 (Phys.frame m 7).Phys.color;
+  (* Cost surcharges come from the tier spec. *)
+  check_float "dram access surcharge" 0.0 (Phys.tier_access_us m 0);
+  check_bool "slow tier surcharges" true
+    (Phys.tier_access_us m 1 > 0.0 && Phys.tier_migrate_us m 1 > 0.0);
+  (* A flat [create] is exactly one zero-surcharge dram tier. *)
+  let flat = Phys.create ~n_colors:4 ~page_size:4096 ~total_bytes:(16 * 4096) () in
+  check_int "flat = one tier" 1 (Phys.n_tiers flat);
+  check_bool "covering everything" true (Phys.tier_bounds flat 0 = (0, 16));
+  check_float "with no surcharge" 0.0 (Phys.tier_access_us flat 0)
+
+(* Tier-scoped color/range queries against the naive filter of the
+   unscoped result. *)
+let test_phys_tier_scoped_queries () =
+  let m =
+    Phys.create_tiered ~n_colors:4 ~page_size:4096
+      ~tiers:[ Phys.dram_tier ~bytes:(6 * 4096); Phys.slow_dram_tier ~bytes:(10 * 4096) ]
+      ()
+  in
+  for tier = 0 to 1 do
+    for color = 0 to 3 do
+      Alcotest.(check (list int))
+        (Printf.sprintf "color %d of tier %d" color tier)
+        (List.filter (fun i -> Phys.tier_of_frame m i = tier) (Phys.frames_of_color m color))
+        (Phys.frames_of_color ~tier m color)
+    done;
+    List.iter
+      (fun (lo_addr, hi_addr) ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "range [%d, %d) in tier %d" lo_addr hi_addr tier)
+          (List.filter
+             (fun i -> Phys.tier_of_frame m i = tier)
+             (Phys.frames_in_range m ~lo_addr ~hi_addr))
+          (Phys.frames_in_range ~tier m ~lo_addr ~hi_addr))
+      [ (0, 16 * 4096); (4 * 4096, 9 * 4096); (100, 100) ]
+  done
+
+(* The owner tag is only writable through set_owner; the histogram sums
+   to the whole machine. *)
+let test_phys_owner_tag () =
+  let m = Phys.create ~page_size:4096 ~total_bytes:(4 * 4096) () in
+  check_int "unowned at creation" (-1) (Phys.owner m 0);
+  Phys.set_owner m 0 7;
+  Phys.set_owner m 1 7;
+  Phys.set_owner m 2 9;
+  check_int "tag reads back" 7 (Phys.owner m 1);
+  let hist = List.sort compare (Phys.owners_histogram m) in
+  check_bool "histogram" true (hist = [ (-1, 1); (7, 2); (9, 1) ]);
+  check_int "histogram covers every frame" 4
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 hist)
+
 (* ------------------------------------------------------------------ *)
 (* Mapping hash                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -335,6 +402,24 @@ let test_cache_colors () =
   check_int "page color cycles" 1 (Cache.color_of c ~phys_addr:4096 ~page_bytes:4096);
   check_int "wraps at cache size" 0 (Cache.color_of c ~phys_addr:(64 * 1024) ~page_bytes:4096)
 
+(* Pin the documented identity n_colors = sets * line_bytes / page_bytes
+   (clamped at 1 when the page exceeds the cache) across geometries. *)
+let test_cache_n_colors_identity () =
+  List.iter
+    (fun (size_bytes, line_bytes, page_bytes) ->
+      let c = Cache.create ~line_bytes ~size_bytes () in
+      check_int
+        (Printf.sprintf "%dB cache, %dB lines, %dB pages" size_bytes line_bytes page_bytes)
+        (max 1 (Cache.sets c * line_bytes / page_bytes))
+        (Cache.n_colors c ~page_bytes))
+    [
+      (64 * 1024, 64, 4096);
+      (64 * 1024, 32, 4096);
+      (128 * 1024, 64, 8192);
+      (8 * 1024, 64, 4096);
+      (2 * 1024, 64, 4096) (* page bigger than the cache: one color *);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Properties                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -382,6 +467,9 @@ let () =
           Alcotest.test_case "indexes match the naive scan" `Quick test_phys_indexes_match_scan;
           Alcotest.test_case "copy and zero" `Quick test_phys_copy_zero;
           Alcotest.test_case "bad create" `Quick test_phys_bad_create;
+          Alcotest.test_case "tiered layout" `Quick test_phys_tiered_layout;
+          Alcotest.test_case "tier-scoped queries" `Quick test_phys_tier_scoped_queries;
+          Alcotest.test_case "owner tag" `Quick test_phys_owner_tag;
         ] );
       ( "page-table",
         [
@@ -410,6 +498,7 @@ let () =
         [
           Alcotest.test_case "conflicts" `Quick test_cache_conflicts;
           Alcotest.test_case "colors" `Quick test_cache_colors;
+          Alcotest.test_case "n_colors identity" `Quick test_cache_n_colors_identity;
         ] );
       ("properties", qcheck_cases);
     ]

@@ -289,7 +289,7 @@ let test_binding_range_checked () =
    against the linear scans they replaced, over every page and a grid of
    candidate regions — boundaries included. *)
 let test_binding_search_matches_linear () =
-  let seg = Seg.make ~sid:99 ~name:"search" ~page_size:4096 ~pages:64 in
+  let seg = Seg.make ~sid:99 ~name:"search" ~page_size:4096 ~pages:64 () in
   let regions = [ (40, 5); (0, 3); (20, 1); (8, 4); (58, 6); (30, 6) ] in
   List.iter
     (fun (at, len) ->
@@ -320,7 +320,7 @@ let test_binding_search_matches_linear () =
       [ 1; 2; 5; 11 ]
   done;
   (* An empty segment for the degenerate cases. *)
-  let bare = Seg.make ~sid:100 ~name:"bare" ~page_size:4096 ~pages:8 in
+  let bare = Seg.make ~sid:100 ~name:"bare" ~page_size:4096 ~pages:8 () in
   check_bool "no bindings: covering none" true (Seg.binding_covering bare 3 = None);
   check_bool "no bindings: no overlap" false (Seg.bindings_overlap bare ~at:0 ~len:8)
 

@@ -1,0 +1,288 @@
+(* Tests for the tiered-memory layer: per-tier frame-conservation audits,
+   Mgr_tiered's hot/cold migration, the compressed-store round trip, and
+   the zero-delta rule for single-tier machines. *)
+
+module Phys = Hw_phys_mem
+module K = Epcm_kernel
+module Seg = Epcm_segment
+module Mgr = Epcm_manager
+module Flags = Epcm_flags
+module T = Mgr_tiered
+module Engine = Sim_engine
+module Data = Hw_page_data
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let page_size = 4096
+
+let tiered_kernel ~fast ~slow =
+  let machine =
+    Hw_machine.create ~page_size
+      ~tiers:
+        [
+          Phys.dram_tier ~bytes:(fast * page_size);
+          Phys.slow_dram_tier ~bytes:(slow * page_size);
+        ]
+      ()
+  in
+  (machine, K.create machine)
+
+(* Both conservation audits — flat and per-tier — against their
+   O(segments × pages) scan references. *)
+let audits_agree kernel =
+  K.frame_owner_audit kernel = K.frame_owner_audit_scan kernel
+  && K.frame_owner_audit_tiered kernel = K.frame_owner_audit_tiered_scan kernel
+
+(* Summing tier column [k] of the per-tier audit over all segments must
+   give tier [k]'s frame count. *)
+let tier_columns_conserved kernel machine =
+  let mem = machine.Hw_machine.mem in
+  let totals = Array.make (Phys.n_tiers mem) 0 in
+  List.iter
+    (fun (_, by_tier) ->
+      Array.iteri (fun k n -> totals.(k) <- totals.(k) + n) by_tier)
+    (K.frame_owner_audit_tiered kernel);
+  Array.for_all Fun.id
+    (Array.init (Phys.n_tiers mem) (fun k ->
+         let _, count = Phys.tier_bounds mem k in
+         totals.(k) = count))
+
+(* ------------------------------------------------------------------ *)
+(* Per-tier audit vs the scan reference                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Churn a segment bigger than the fast tier through Mgr_tiered so pages
+   demote and promote across tiers, checking the incremental per-tier
+   audit against the scan (and the column sums) mid-storm and after. *)
+let test_tiered_audit_matches_scan () =
+  (* Slow tier big enough to hold the overflow: demoted pages wait there
+     and their next touch is a promotion, so churn crosses the tier
+     boundary in both directions. *)
+  let machine, kernel = tiered_kernel ~fast:12 ~slow:48 in
+  let mgr =
+    T.create kernel ~fast_pool_capacity:4 ~slow_pool_capacity:4 ~refill_batch:4 ~reclaim_batch:2
+      ()
+  in
+  let seg = T.create_segment mgr ~name:"churn" ~pages:40 in
+  Engine.spawn machine.Hw_machine.engine (fun () ->
+      for round = 0 to 3 do
+        for i = 0 to 39 do
+          let page = (i + (round * 7)) mod 40 in
+          let access = if i mod 3 = 0 then Mgr.Write else Mgr.Read in
+          K.touch kernel ~space:seg ~page ~access
+        done;
+        check_bool
+          (Printf.sprintf "audit = scan after round %d" round)
+          true (audits_agree kernel)
+      done);
+  Engine.run machine.Hw_machine.engine;
+  check_bool "audit = scan after churn" true (audits_agree kernel);
+  check_bool "tier columns sum to tier sizes" true (tier_columns_conserved kernel machine);
+  check_int "no frame lost" (Hw_machine.n_frames machine) (K.frame_owner_total kernel);
+  let stats = T.stats mgr in
+  check_bool "churn demoted pages" true (stats.T.demotions_slow > 0);
+  check_bool "churn promoted pages" true (stats.T.promotions > 0);
+  (* The segment's own per-tier counters agree with their scan too. *)
+  let s = K.segment kernel seg in
+  check_bool "segment per-tier counters = scan" true
+    (Seg.resident_pages_by_tier s = Seg.resident_pages_by_tier_scan s)
+
+(* Destroying a tiered segment returns every frame — in both tiers — to
+   the initial segment, visible through the per-tier audit. *)
+let test_tiered_audit_after_destroy () =
+  let machine, kernel = tiered_kernel ~fast:8 ~slow:8 in
+  let mgr = T.create kernel ~fast_pool_capacity:2 ~slow_pool_capacity:2 () in
+  let seg = T.create_segment mgr ~name:"doomed" ~pages:12 in
+  Engine.spawn machine.Hw_machine.engine (fun () ->
+      for p = 0 to 11 do
+        K.touch kernel ~space:seg ~page:p ~access:Mgr.Write
+      done;
+      K.destroy_segment kernel seg);
+  Engine.run machine.Hw_machine.engine;
+  check_bool "audit = scan after destroy" true (audits_agree kernel);
+  check_bool "tier columns sum to tier sizes" true (tier_columns_conserved kernel machine);
+  check_int "no frame lost" (Hw_machine.n_frames machine) (K.frame_owner_total kernel)
+
+(* ------------------------------------------------------------------ *)
+(* Compressed-store round trip                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A working set larger than fast + slow - pool holdings forces the full
+   cascade: fast -> slow -> compressed store -> refetch. Every page must
+   come back with the contents it was written with. *)
+let test_compressed_round_trip () =
+  let pages = 30 in
+  let machine, kernel = tiered_kernel ~fast:8 ~slow:9 in
+  let mgr =
+    T.create kernel ~fast_pool_capacity:2 ~slow_pool_capacity:2 ~refill_batch:4 ~reclaim_batch:2
+      ()
+  in
+  let seg = T.create_segment mgr ~name:"cascade" ~pages in
+  let payload p = Data.of_string (Printf.sprintf "tier-page-%d" p) in
+  let intact = ref true in
+  Engine.spawn machine.Hw_machine.engine (fun () ->
+      for p = 0 to pages - 1 do
+        K.uio_write kernel ~seg ~page:p (payload p)
+      done;
+      for p = 0 to pages - 1 do
+        if not (Data.equal (K.uio_read kernel ~seg ~page:p) (payload p)) then intact := false
+      done);
+  Engine.run machine.Hw_machine.engine;
+  check_bool "contents intact across the cascade" true !intact;
+  let stats = T.stats mgr in
+  check_bool "pages reached the compressed store" true (stats.T.demotions_compressed > 0);
+  check_bool "pages were refetched from it" true (stats.T.refetches > 0);
+  check_bool "audit = scan after cascade" true (audits_agree kernel);
+  check_int "no frame lost" (Hw_machine.n_frames machine) (K.frame_owner_total kernel)
+
+(* ------------------------------------------------------------------ *)
+(* Zero-delta: a single-DRAM-tier machine is the flat machine          *)
+(* ------------------------------------------------------------------ *)
+
+(* The naive demand pager from Exp_tier, in miniature: one initial-segment
+   frame per missing fault, monotone address order. *)
+let naive_pager kernel =
+  let init = K.initial_segment kernel in
+  let next = ref 0 in
+  let on_fault (fault : Mgr.fault) =
+    match fault.Mgr.f_kind with
+    | Mgr.Missing | Mgr.Cow_write ->
+        let init_seg = K.segment kernel init in
+        while (Seg.page init_seg !next).Seg.frame = None do
+          incr next
+        done;
+        K.migrate_pages kernel ~src:init ~dst:fault.Mgr.f_seg ~src_page:!next
+          ~dst_page:fault.Mgr.f_page ~count:1
+          ~clear_flags:(Flags.of_list [ Flags.dirty; Flags.no_access; Flags.read_only ])
+          ();
+        incr next
+    | Mgr.Protection ->
+        K.modify_page_flags kernel ~seg:fault.Mgr.f_seg ~page:fault.Mgr.f_page ~count:1
+          ~clear_flags:(Flags.of_list [ Flags.no_access; Flags.read_only ])
+          ()
+  in
+  K.register_manager kernel ~name:"naive" ~mode:`In_process ~on_fault ()
+
+(* Run a deterministic fault + warm-scan trace and return every counter
+   that could betray a tier-induced difference. *)
+let trace_counts machine =
+  let kernel = K.create machine in
+  let mid = naive_pager kernel in
+  let seg = K.create_segment kernel ~name:"heap" ~pages:24 () in
+  K.set_segment_manager kernel seg mid;
+  Engine.spawn machine.Hw_machine.engine (fun () ->
+      for p = 0 to 23 do
+        K.touch kernel ~space:seg ~page:p ~access:Mgr.Write
+      done;
+      for _ = 1 to 5 do
+        for p = 0 to 23 do
+          K.touch kernel ~space:seg ~page:p ~access:Mgr.Read
+        done
+      done);
+  Engine.run machine.Hw_machine.engine;
+  let s = K.stats kernel in
+  ( s.K.touches,
+    s.K.faults_missing + s.K.faults_protection + s.K.faults_cow,
+    s.K.migrate_calls,
+    s.K.migrated_pages,
+    Engine.events_executed machine.Hw_machine.engine,
+    Hw_machine.now machine )
+
+(* An explicit one-dram-tier machine must be indistinguishable — same
+   counts, same events, same simulated time to the last bit — from the
+   flat [create] machine (which is itself now a one-tier machine). *)
+let test_single_tier_zero_delta () =
+  let flat = Hw_machine.create ~page_size ~memory_bytes:(32 * page_size) () in
+  let one_tier =
+    Hw_machine.create ~page_size ~tiers:[ Phys.dram_tier ~bytes:(32 * page_size) ] ()
+  in
+  let t1, f1, mc1, mp1, e1, us1 = trace_counts flat in
+  let t2, f2, mc2, mp2, e2, us2 = trace_counts one_tier in
+  check_int "touches" t1 t2;
+  check_int "faults" f1 f2;
+  check_int "migrate calls" mc1 mc2;
+  check_int "migrated pages" mp1 mp2;
+  check_int "events" e1 e2;
+  Alcotest.(check (float 0.0)) "simulated time (exact)" us1 us2
+
+(* The single-tier config reproduces today's pinned 8 MB perf counts
+   (the same goldens test_workloads pins; re-asserted here because the
+   tier redesign is exactly what could shift them). *)
+let test_single_tier_golden_8mb () =
+  let r = Wl_scale.run Wl_scale.size_8mb in
+  check_int "frames" 2048 r.Wl_scale.r_frames;
+  check_int "touches" 3584 r.Wl_scale.r_touches;
+  check_int "faults" 1344 r.Wl_scale.r_faults;
+  check_int "migrate calls" 2696 r.Wl_scale.r_migrate_calls;
+  check_int "migrated pages" 3200 r.Wl_scale.r_migrated_pages;
+  check_bool "conserved" true r.Wl_scale.r_conserved
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Random churn through the tiered manager never corrupts a page or
+   loses a frame: whatever was written last is what reads back, no
+   matter how many times the page moved between tiers or through the
+   compressed store in between. *)
+let prop_churn_preserves_contents_and_ownership =
+  QCheck.Test.make
+    ~name:"tiered manager: churn preserves page contents and frame ownership" ~count:25
+    QCheck.(pair small_nat (int_range 16 40))
+    (fun (seed, pages) ->
+      let machine, kernel = tiered_kernel ~fast:8 ~slow:8 in
+      let mgr =
+        T.create kernel ~fast_pool_capacity:3 ~slow_pool_capacity:3 ~refill_batch:3
+          ~reclaim_batch:2 ()
+      in
+      let seg = T.create_segment mgr ~name:"prop" ~pages in
+      let rng = Sim_rng.create (Int64.of_int (seed + 1)) in
+      let payload p step = Data.of_string (Printf.sprintf "p%d-s%d" p step) in
+      let written = Array.init pages (fun p -> payload p (-1)) in
+      let ok = ref true in
+      Engine.spawn machine.Hw_machine.engine (fun () ->
+          (* Seed every page with a known payload (V++ does not zero on
+             allocation, so an unwritten page has no defined contents). *)
+          for p = 0 to pages - 1 do
+            K.uio_write kernel ~seg ~page:p written.(p)
+          done;
+          for step = 0 to 199 do
+            let p = Sim_rng.int rng pages in
+            if Sim_rng.bool rng then begin
+              written.(p) <- payload p step;
+              K.uio_write kernel ~seg ~page:p written.(p)
+            end
+            else if not (Data.equal (K.uio_read kernel ~seg ~page:p) written.(p)) then
+              ok := false
+          done;
+          for p = 0 to pages - 1 do
+            if not (Data.equal (K.uio_read kernel ~seg ~page:p) written.(p)) then ok := false
+          done);
+      Engine.run machine.Hw_machine.engine;
+      !ok && audits_agree kernel
+      && tier_columns_conserved kernel machine
+      && K.frame_owner_total kernel = Hw_machine.n_frames machine)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_churn_preserves_contents_and_ownership ]
+
+let () =
+  Alcotest.run "tier"
+    [
+      ( "conservation",
+        [
+          Alcotest.test_case "per-tier audit matches scan under churn" `Quick
+            test_tiered_audit_matches_scan;
+          Alcotest.test_case "per-tier audit after segment destroy" `Quick
+            test_tiered_audit_after_destroy;
+        ] );
+      ( "cascade",
+        [ Alcotest.test_case "compressed-store round trip" `Quick test_compressed_round_trip ] );
+      ( "zero-delta",
+        [
+          Alcotest.test_case "one dram tier = flat machine" `Quick test_single_tier_zero_delta;
+          Alcotest.test_case "8 MB perf goldens hold" `Quick test_single_tier_golden_8mb;
+        ] );
+      ("properties", qcheck_cases);
+    ]
