@@ -12,27 +12,28 @@
       performance regressions.
 
    Run with: dune exec bench/main.exe [-- --jobs N]
-   --jobs N runs the independent experiments on N OCaml domains (joined in
-   fixed order, so the printed report is byte-identical to a sequential
-   run). Set VPP_BENCH_FAST=1 to skip the Bechamel pass (used by CI smoke
-   runs). *)
+   --jobs N runs the independent experiments on N OCaml domains (default:
+   the recommended domain count; joined in fixed order, so the printed
+   report is byte-identical to a sequential run). Set VPP_BENCH_FAST=1 to
+   skip the Bechamel pass (used by CI smoke runs). *)
 
 open Bechamel
 open Toolkit
 
 (* Minimal flag scan: Bechamel owns no CLI, so the harness takes just
-   "--jobs N" (or "--jobs=N"). *)
+   "--jobs N" (or "--jobs=N"). Without the flag, fan out over the
+   detected domain count. *)
 let jobs =
   let argv = Sys.argv in
-  let jobs = ref 1 in
+  let jobs = ref None in
   Array.iteri
     (fun i arg ->
       if arg = "--jobs" && i + 1 < Array.length argv then
-        jobs := max 1 (int_of_string argv.(i + 1))
+        jobs := Some (max 1 (int_of_string argv.(i + 1)))
       else if String.length arg > 7 && String.sub arg 0 7 = "--jobs=" then
-        jobs := max 1 (int_of_string (String.sub arg 7 (String.length arg - 7))))
+        jobs := Some (max 1 (int_of_string (String.sub arg 7 (String.length arg - 7)))))
     argv;
-  !jobs
+  match !jobs with Some j -> j | None -> Exp_par.default_jobs ()
 
 let line () = print_endline (String.make 78 '=')
 
@@ -102,7 +103,7 @@ let reproduce () =
   line ();
   print_endline "Tier: single-tier vs tiered frame placement";
   line ();
-  let tier = Exp_tier.run () in
+  let tier = Exp_tier.run ~jobs () in
   print_string (Exp_tier.render tier);
   let oc = open_out "BENCH_tier.json" in
   output_string oc (Exp_tier.render_json tier);

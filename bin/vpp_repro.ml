@@ -65,6 +65,7 @@ let run_perf quick json jobs out () =
 let validators =
   [
     (Exp_scale.schema_version, Exp_scale.validate_json);
+    (Exp_scale.schema_version_v1, Exp_scale.validate_json_v1);
     (Exp_market.schema_version, Exp_market.validate_json);
     (Exp_profile.schema_version, Exp_profile.validate_json);
     (Exp_tier.schema_version, Exp_tier.validate_json);
@@ -112,8 +113,8 @@ let run_market quick json jobs out () =
   end;
   if not (Exp_report.all_pass r.Exp_market.checks) then exit 1
 
-let run_tier quick json out () =
-  let r = Exp_tier.run ~quick () in
+let run_tier quick json jobs out () =
+  let r = Exp_tier.run ~quick ~jobs () in
   let record = Exp_tier.render_json r in
   let oc = open_out out in
   output_string oc record;
@@ -160,7 +161,7 @@ let perf_jobs_opt =
 let out_opt =
   Arg.(
     value & opt string "BENCH_perf.json"
-    & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the vpp-perf/1 record.")
+    & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the vpp-perf/2 record.")
 
 let market_out_opt =
   Arg.(
@@ -197,8 +198,9 @@ let () =
         "Cost attribution for the Table 1 paths plus latency histograms (not a paper table)"
         Term.(const run_profile $ json_flag $ const ());
       cmd "perf"
-        "Simulator throughput at 8 MB/512 MB/4 GB machine sizes plus the parallel-driver \
-         timing (the vpp-perf/1 record; not a paper table)"
+        "Simulator throughput at 8 MB/512 MB/4 GB machine sizes, the 4 KB-vs-superpage \
+         streaming legs and the parallel-driver timing (the vpp-perf/2 record; not a paper \
+         table)"
         Term.(const run_perf $ quick_flag $ json_flag $ perf_jobs_opt $ out_opt $ const ());
       cmd "perf-validate" "Deprecated alias for $(b,validate)"
         Term.(const run_validate $ file_arg $ const ());
@@ -211,10 +213,10 @@ let () =
       cmd "tier"
         "Single-tier vs tiered frame placement: a tier-oblivious pager against Mgr_tiered's \
          hot/cold migration on the same traces (the vpp-tier/1 record; not a paper table)"
-        Term.(const run_tier $ quick_flag $ json_flag $ tier_out_opt $ const ());
+        Term.(const run_tier $ quick_flag $ json_flag $ jobs_opt $ tier_out_opt $ const ());
       cmd "validate"
-        "Validate any versioned record (vpp-perf/1, vpp-market/1, vpp-profile/1, vpp-tier/1), \
-         dispatching on its embedded schema tag"
+        "Validate any versioned record (vpp-perf/2, vpp-perf/1, vpp-market/1, vpp-profile/1, \
+         vpp-tier/1), dispatching on its embedded schema tag"
         Term.(const run_validate $ file_arg $ const ());
       cmd "all" "Every table and figure" Term.(const run_all $ quick_flag $ jobs_opt $ const ());
     ]

@@ -73,6 +73,8 @@ type stats = {
   mutable page_copies : int;
   mutable page_zeros : int;
   mutable touches : int;
+  mutable sp_promotions : int;
+  mutable sp_demotions : int;
 }
 
 (* Translation-cache keys pointing at one resolved slot. *)
@@ -98,6 +100,13 @@ type t = {
   cached_keys : (int * int, keyset) Hashtbl.t;
   mutable fault_depth : int;
   max_fault_depth : int;
+  (* Superpage guards: [sp_segs] counts segments opted into superpage
+     mappings, [sp_live] counts promoted regions machine-wide. Both zero
+     on machines that never opt in, so every superpage pass below is a
+     single integer compare on the 4 KB hot paths — the same discipline
+     as the [Phys.n_tiers mem > 1] tier guards. *)
+  mutable sp_segs : int;
+  mutable sp_live : int;
 }
 
 let fresh_stats () =
@@ -115,6 +124,8 @@ let fresh_stats () =
     page_copies = 0;
     page_zeros = 0;
     touches = 0;
+    sp_promotions = 0;
+    sp_demotions = 0;
   }
 
 let charge ?label t us = Machine.charge ?label t.machine us
@@ -151,6 +162,8 @@ let create machine =
     cached_keys = Hashtbl.create 1024;
     fault_depth = 0;
     max_fault_depth = 16;
+    sp_segs = 0;
+    sp_live = 0;
   }
 
 let machine t = t.machine
@@ -244,7 +257,91 @@ let record_cached_key t ~slot:(sseg, spage) ~key:(kspace, kvpn) =
       end
   | Some (Many keys) -> if not (Hashtbl.mem keys (kspace, kvpn)) then Hashtbl.replace keys (kspace, kvpn) ()
 
+(* ------------------------------------------------------------------ *)
+(* Superpage promotion / demotion                                     *)
+(* ------------------------------------------------------------------ *)
+
+let super_pages t = Machine.super_pages t.machine
+
+(* Split one promoted region back to 4 KB granularity: drop the region
+   record and its 2 MB translations. The covered pages stay resident —
+   residency bookkeeping never left 4 KB granularity — and rebuild their
+   base mappings lazily through segment walks on the next touch. *)
+let demote_superpage t seg sindex =
+  if Hashtbl.mem seg.Seg.sp_regions sindex then begin
+    Hashtbl.remove seg.Seg.sp_regions sindex;
+    t.sp_live <- t.sp_live - 1;
+    t.stats.sp_demotions <- t.stats.sp_demotions + 1;
+    Pt.remove_super t.machine.Machine.page_table ~space:seg.Seg.sid ~svpn:sindex;
+    Tlb.invalidate_super t.machine.Machine.tlb ~space:seg.Seg.sid ~svpn:sindex;
+    charge ~label:"kernel/superpage_demote" t (cost t).Hw_cost.superpage_demote;
+    Machine.trace_emit t.machine ~tag:"superpage.demote" (fun () ->
+        Printf.sprintf "seg %d region %d" seg.Seg.sid sindex)
+  end
+
+(* Fold an aligned, fully resident, protection-uniform run of 4 KB pages
+   into one 2 MB mapping. The quick endpoint checks reject non-candidates
+   in O(1); only runs that look promotable pay the full verify scan. *)
+let try_promote_region t seg sindex =
+  let sp = super_pages t in
+  let p0 = sindex * sp in
+  if p0 < 0 || p0 + sp > Seg.length seg || Hashtbl.mem seg.Seg.sp_regions sindex then false
+  else begin
+    let first = Seg.page seg p0 and last = Seg.page seg (p0 + sp - 1) in
+    match (first.Seg.frame, last.Seg.frame) with
+    | Some base, Some lf
+      when base mod sp = 0 && lf = base + sp - 1
+           && not (Flags.mem first.Seg.flags Flags.no_access) ->
+        let ro0 = Flags.mem first.Seg.flags Flags.read_only in
+        let ok = ref true and i = ref 0 in
+        while !ok && !i < sp do
+          let s = Seg.page seg (p0 + !i) in
+          (match s.Seg.frame with
+          | Some f
+            when f = base + !i
+                 && (not (Flags.mem s.Seg.flags Flags.no_access))
+                 && Flags.mem s.Seg.flags Flags.read_only = ro0 -> ()
+          | Some _ | None -> ok := false);
+          incr i
+        done;
+        (* A contiguous run can still straddle a tier boundary; one 2 MB
+           mapping must stay tier-pure so the per-tier audits and access
+           surcharges remain exact. Tiers are contiguous intervals, so
+           checking the endpoints pins the whole run. *)
+        let mem = t.machine.Machine.mem in
+        if !ok && Phys.n_tiers mem > 1
+           && Phys.tier_of_frame mem base <> Phys.tier_of_frame mem (base + sp - 1)
+        then ok := false;
+        if !ok then begin
+          Hashtbl.replace seg.Seg.sp_regions sindex base;
+          t.sp_live <- t.sp_live + 1;
+          t.stats.sp_promotions <- t.stats.sp_promotions + 1;
+          let prot = { Pt.readable = true; writable = not ro0 } in
+          Pt.insert_super t.machine.Machine.page_table ~space:seg.Seg.sid ~svpn:sindex
+            ~frame:base ~prot;
+          Tlb.fill_super t.machine.Machine.tlb ~space:seg.Seg.sid ~svpn:sindex ~frame:base;
+          let c = cost t in
+          charge ~label:"kernel/superpage_promote" t
+            (c.Hw_cost.superpage_promote +. c.Hw_cost.pte_update_super);
+          Machine.trace_emit t.machine ~tag:"superpage.promote" (fun () ->
+              Printf.sprintf "seg %d region %d frames [%d..%d]" seg.Seg.sid sindex base
+                (base + sp - 1))
+        end;
+        !ok
+    | _ -> false
+  end
+
 let invalidate_slot t ~seg ~page =
+  (* Any translation change inside a promoted region splits it first —
+     protection change, partial eviction, partial migrate, teardown all
+     funnel through here. Guarded by the machine-wide live-region count
+     so flat 4 KB machines pay one integer compare. *)
+  if t.sp_live > 0 then begin
+    match Hashtbl.find_opt t.segments seg with
+    | Some s when s.Seg.sp_enabled && Hashtbl.length s.Seg.sp_regions > 0 ->
+        demote_superpage t s (page / super_pages t)
+    | _ -> ()
+  end;
   (match Hashtbl.find_opt t.cached_keys (seg, page) with
   | None -> ()
   | Some (Single (space, vpn)) ->
@@ -363,6 +460,16 @@ let migrate_pages t ~src ~dst ~src_page ~dst_page ~count ?tier:want_tier
     let d_slot = migrate_one t ~src_seg ~dst_seg ~src_page:(src_page + i) ~dst_page:(dst_page + i) in
     d_slot.Seg.flags <- Flags.diff (Flags.union d_slot.Seg.flags set_flags) clear_flags
   done;
+  (* Batched superpage install: when the destination opted in, any region
+     this call (fully or partially) filled that now holds a complete
+     aligned run collapses into one 2 MB mapping. Segments that never opt
+     in skip the pass on one boolean. *)
+  if count > 0 && dst_seg.Seg.sp_enabled then begin
+    let sp = super_pages t in
+    for sindex = dst_page / sp to (dst_page + count - 1) / sp do
+      ignore (try_promote_region t dst_seg sindex)
+    done
+  end;
   t.stats.migrate_calls <- t.stats.migrate_calls + 1;
   t.stats.migrated_pages <- t.stats.migrated_pages + count;
   Machine.trace_emit t.machine ~tag:"step4.migrate" (fun () ->
@@ -482,10 +589,71 @@ let destroy_segment t sid =
           invalidate_slot t ~seg:sid ~page:i;
           return_frame_to_initial t f)
     s.Seg.pages;
+  (* Promoted regions all covered resident pages, so the eviction loop
+     demoted them via invalidate_slot; clear defensively anyway and
+     retire the opt-in. *)
+  if Hashtbl.length s.Seg.sp_regions > 0 then begin
+    let regions = Hashtbl.fold (fun k _ acc -> k :: acc) s.Seg.sp_regions [] in
+    List.iter (fun sindex -> demote_superpage t s sindex) regions
+  end;
+  if s.Seg.sp_enabled then begin
+    s.Seg.sp_enabled <- false;
+    t.sp_segs <- t.sp_segs - 1
+  end;
   s.Seg.alive <- false;
   Tlb.invalidate_space t.machine.Machine.tlb ~space:sid;
   Pt.remove_space t.machine.Machine.page_table ~space:sid;
   charge ~label:"kernel/segment_ctl" t (cost t).Hw_cost.syscall_base
+
+(* ------------------------------------------------------------------ *)
+(* Superpage control operations                                       *)
+(* ------------------------------------------------------------------ *)
+
+let set_superpages t ~seg ~enabled =
+  if seg = t.init_seg then fail Initial_segment_operation;
+  let s = segment t seg in
+  if s.Seg.sp_enabled <> enabled then begin
+    if not enabled then begin
+      let regions = Hashtbl.fold (fun k _ acc -> k :: acc) s.Seg.sp_regions [] in
+      List.iter (fun sindex -> demote_superpage t s sindex) regions
+    end;
+    s.Seg.sp_enabled <- enabled;
+    t.sp_segs <- t.sp_segs + (if enabled then 1 else -1)
+  end;
+  charge ~label:"kernel/segment_ctl" t (cost t).Hw_cost.syscall_base
+
+(* An "identity run" of the initial segment: [run] aligned consecutive
+   frames still sitting in their boot slots (slot i holds frame i), so one
+   contiguous MigratePages moves the whole physical run. The owner tags
+   prefilter candidates without touching segment state; the slot check
+   confirms identity (true for every free frame at boot, best-effort after
+   churn since return_frame_to_initial prefers the identity slot). *)
+let find_superpage_run ?tier t ~start =
+  let mem = t.machine.Machine.mem in
+  let run = super_pages t in
+  let init = segment t t.init_seg in
+  let rec search s =
+    match Phys.find_aligned_run ?tier mem ~start:s ~run ~owned_by:t.init_seg with
+    | None -> None
+    | Some base ->
+        let ok = ref true and i = ref 0 in
+        while !ok && !i < run do
+          if (Seg.page init (base + !i)).Seg.frame <> Some (base + !i) then ok := false;
+          incr i
+        done;
+        if !ok then Some base else search (base + run)
+  in
+  search (max 0 start)
+
+let grant_superpage_run ?tier t ~dst ~dst_page ~start =
+  let run = super_pages t in
+  if dst_page mod run <> 0 then
+    invalid_arg "Epcm_kernel.grant_superpage_run: dst_page must be superpage-aligned";
+  match find_superpage_run ?tier t ~start with
+  | None -> None
+  | Some base ->
+      migrate_pages t ~src:t.init_seg ~dst ~src_page:base ~dst_page ~count:run ?tier ();
+      Some base
 
 (* ------------------------------------------------------------------ *)
 (* Fault delivery (Figure 2)                                          *)
@@ -612,15 +780,24 @@ let touch t ~space ~page ~access =
   let prot_ok (p : Pt.prot) =
     match access with Mgr.Read -> p.Pt.readable | Mgr.Write -> p.Pt.writable
   in
-  match Pt.lookup pt ~space ~vpn:page with
-  | Some (frame, prot) when prot_ok prot ->
+  match Pt.lookup_sized pt ~space ~vpn:page with
+  | Some (frame, prot, size) when prot_ok prot ->
       (* Model TLB behaviour on the side: hit is free, miss costs a software
-         refill from the mapping hash. *)
-      (match Tlb.lookup tlb ~space ~vpn:page with
+         refill from the mapping hash — at the granularity the mapping hash
+         resolved (a superpage hit refills one 2 MB entry covering the whole
+         run). Flat machines only ever see Base here. *)
+      (match Tlb.lookup_sized tlb ~space ~vpn:page with
       | Some _ -> ()
-      | None ->
-          charge ~label:"kernel/tlb_refill" t c.Hw_cost.tlb_refill;
-          Tlb.fill tlb ~space ~vpn:page ~frame);
+      | None -> (
+          match size with
+          | Pt.Base ->
+              charge ~label:"kernel/tlb_refill" t c.Hw_cost.tlb_refill;
+              Tlb.fill tlb ~space ~vpn:page ~frame
+          | Pt.Super ->
+              let sp = super_pages t in
+              let svpn = page / sp in
+              charge ~label:"kernel/tlb_refill_super" t c.Hw_cost.tlb_refill_super;
+              Tlb.fill_super tlb ~space ~svpn ~frame:(frame - (page - (svpn * sp)))));
       (* Far-memory latency premium: every reference to a slow-tier frame
          pays it, not just the faulting one. Single-tier machines skip the
          pass (and tier 0 charges zero anyway), keeping the warm path
@@ -641,10 +818,34 @@ let touch t ~space ~page ~access =
         charge ~label:"kernel/tier_access" t
           (Phys.tier_access_us mem (Phys.tier_of_frame mem frame));
       let prot = resolved_prot ~flags ~via_cow in
-      Pt.insert pt ~space ~vpn:page ~frame ~prot;
-      Tlb.fill tlb ~space ~vpn:page ~frame;
-      record_cached_key t ~slot:(oseg_id, opage) ~key:(space, page);
-      charge ~label:"kernel/pte_update" t c.Hw_cost.pte_update;
+      (* Superpage install: a direct reference into an opted-in segment
+         lands on its 2 MB mapping when the covering region is (or just
+         became) promoted — e.g. the manager granted an aligned run during
+         the Missing fault above. Guarded so machines with no opted-in
+         segment take the 4 KB branch unconditionally. *)
+      let installed_super =
+        t.sp_segs > 0 && space = oseg_id && not via_cow
+        &&
+        let oseg = segment t oseg_id in
+        oseg.Seg.sp_enabled
+        &&
+        let sindex = opage / super_pages t in
+        match Hashtbl.find_opt oseg.Seg.sp_regions sindex with
+        | Some base ->
+            (* Promoted already; the 2 MB entry was displaced from (or
+               never reached) the translation caches — reinstall it. *)
+            Pt.insert_super pt ~space ~svpn:sindex ~frame:base ~prot;
+            Tlb.fill_super tlb ~space ~svpn:sindex ~frame:base;
+            charge ~label:"kernel/pte_update_super" t c.Hw_cost.pte_update_super;
+            true
+        | None -> try_promote_region t oseg sindex
+      in
+      if not installed_super then begin
+        Pt.insert pt ~space ~vpn:page ~frame ~prot;
+        Tlb.fill tlb ~space ~vpn:page ~frame;
+        record_cached_key t ~slot:(oseg_id, opage) ~key:(space, page);
+        charge ~label:"kernel/pte_update" t c.Hw_cost.pte_update
+      end;
       Machine.observe t.machine ~kind:"kernel.fault" (Machine.now t.machine -. t0)
 
 (* ------------------------------------------------------------------ *)

@@ -57,6 +57,10 @@ type stats = {
   mutable page_copies : int;
   mutable page_zeros : int;
   mutable touches : int;
+  mutable sp_promotions : int;
+      (** Aligned 4 KB runs folded into one 2 MB superpage mapping. *)
+  mutable sp_demotions : int;
+      (** Superpage regions split back to 4 KB granularity. *)
 }
 
 type t
@@ -180,6 +184,44 @@ val zero_pages : t -> seg:Epcm_segment.id -> page:int -> count:int -> unit
     — the paper credits this for most of its fault-time win — so zeroing
     is a separate operation a manager uses only when handing frames across
     protection domains. *)
+
+(** {2 Superpages (2 MB mappings)}
+
+    A segment manager can opt a segment into superpage-backed translation.
+    Once opted in, any region of [super_pages] (machine default 512)
+    consecutive, region-aligned pages that is fully resident on an equally
+    aligned physical frame run — typically installed by one batched
+    {!migrate_pages} — is {e promoted}: one 2 MB entry covers the run in
+    the mapping hash and TLB, so warm references and refills touch one
+    entry instead of 512. Any translation change inside a promoted region
+    (protection change, partial eviction, partial migrate, teardown)
+    {e demotes} it back to 4 KB first. Residency bookkeeping never leaves
+    4 KB granularity: the per-segment resident counters and the frame
+    conservation audits are exact throughout. Machines with no opted-in
+    segment skip every superpage pass on a single integer compare (the
+    [n_tiers > 1] discipline), keeping all 4 KB paths byte-identical. *)
+
+val set_superpages : t -> seg:Epcm_segment.id -> enabled:bool -> unit
+(** Opt a segment in or out of superpage mappings. Opting out demotes all
+    its promoted regions. Not permitted on the initial segment. *)
+
+val super_pages : t -> int
+(** Base pages per superpage, from the machine ({!Hw_machine.super_pages}). *)
+
+val find_superpage_run : ?tier:int -> t -> start:int -> int option
+(** First frame of an aligned free run suitable to back one superpage: all
+    [super_pages t] frames sit in the initial segment {e in their boot
+    slots} (slot i holds frame i), at or after [start], optionally within
+    one memory tier. A manager advancing [start] monotonically scans each
+    frame at most once per streaming pass. *)
+
+val grant_superpage_run :
+  ?tier:int -> t -> dst:Epcm_segment.id -> dst_page:int -> start:int -> int option
+(** Find such a run and move it into [dst] at superpage-aligned
+    [dst_page] with one contiguous {!migrate_pages}; when [dst] is opted
+    in, the region promotes as part of the migrate. Returns the base
+    frame granted (the caller's next [start] cursor), or [None] when no
+    aligned run is available — the caller falls back to 4 KB grants. *)
 
 (** {2 Memory references and file access} *)
 

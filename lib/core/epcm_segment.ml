@@ -24,6 +24,8 @@ type t = {
   mutable resident : int;
   tier_of : int -> int;
   resident_by_tier : int array;
+  mutable sp_enabled : bool;
+  sp_regions : (int, int) Hashtbl.t;
 }
 
 let fresh_page () = { frame = None; flags = Epcm_flags.empty }
@@ -43,7 +45,13 @@ let make ?(n_tiers = 1) ?(tier_of = fun _ -> 0) ~sid ~name ~page_size ~pages () 
     resident = 0;
     tier_of;
     resident_by_tier = Array.make n_tiers 0;
+    sp_enabled = false;
+    sp_regions = Hashtbl.create 8;
   }
+
+let superpage_regions t =
+  Hashtbl.fold (fun sindex base acc -> (sindex, base) :: acc) t.sp_regions []
+  |> List.sort compare
 
 let length t = Array.length t.pages
 let in_range t p = p >= 0 && p < Array.length t.pages

@@ -48,6 +48,15 @@ type t = {
   tier_of : int -> int;  (** Frame index -> memory tier id. *)
   resident_by_tier : int array;
       (** Resident pages per memory tier; maintained by {!set_frame}. *)
+  mutable sp_enabled : bool;
+      (** Manager opted this segment into superpage (2 MB) mappings —
+          toggle only through [Epcm_kernel.set_superpages]. *)
+  sp_regions : (int, int) Hashtbl.t;
+      (** Promoted superpage regions: region index (page /
+          super_pages) -> first frame of the aligned physical run.
+          Mutated only by the kernel's promote/demote paths; residency
+          bookkeeping stays at 4 KB granularity in [pages], so the
+          frame-conservation audits are unaffected. *)
 }
 
 val make :
@@ -103,6 +112,10 @@ val resident_pages_by_tier_scan : t -> int array
 
 val frames : t -> int list
 (** All frames mapped in this segment, ascending page order. *)
+
+val superpage_regions : t -> (int * int) list
+(** Promoted superpage regions as (region index, base frame) pairs,
+    ascending — a sorted view of [sp_regions] for tests and reports. *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary: id, name, size, residency, manager. *)

@@ -9,11 +9,17 @@
 
 module J = Sim_json
 
-let schema_version = "vpp-perf/1"
+let schema_version = "vpp-perf/2"
+let schema_version_v1 = "vpp-perf/1"
 
 type scale_row = {
   s_result : Wl_scale.result;
   s_wall_s : float;
+}
+
+type stream_row = {
+  t_result : Wl_scale.stream_result;
+  t_wall_s : float;
 }
 
 type driver = {
@@ -26,6 +32,7 @@ type driver = {
 type result = {
   mode : string;
   scales : scale_row list;
+  stream : stream_row list;
   driver : driver;
   checks : Exp_report.check list;
 }
@@ -59,6 +66,16 @@ let run ?(quick = false) ?jobs () =
         let r, wall = timed (fun () -> Wl_scale.run cfg) in
         { s_result = r; s_wall_s = wall })
       sizes
+  in
+  (* Superpage comparison: the same sequential stream at the largest size,
+     once with 4 KB fills and once with whole-run grants + promotion. *)
+  let stream_cfg = List.nth sizes (List.length sizes - 1) in
+  let stream =
+    List.map
+      (fun superpages ->
+        let r, wall = timed (fun () -> Wl_scale.run_stream ~superpages stream_cfg) in
+        { t_result = r; t_wall_s = wall })
+      [ false; true ]
   in
   let seq_out, seq_s =
     timed (fun () -> String.concat "\n" (List.map (fun f -> f ()) (driver_tasks ())))
@@ -98,8 +115,34 @@ let run ?(quick = false) ?jobs () =
           ~pass:driver.d_identical
           ~detail:(Printf.sprintf "%d job(s)" driver.d_jobs);
       ]
+    @
+    let plain = (List.nth stream 0).t_result and sp = (List.nth stream 1).t_result in
+    [
+      Exp_report.check ~what:"stream: frame conservation held on both legs"
+        ~pass:(plain.Wl_scale.s_conserved && sp.Wl_scale.s_conserved)
+        ~detail:(Printf.sprintf "%d frames" plain.Wl_scale.s_frames);
+      Exp_report.check ~what:"stream: legs issued identical references"
+        ~pass:
+          (plain.Wl_scale.s_touches = sp.Wl_scale.s_touches
+          && plain.Wl_scale.s_stream_pages = sp.Wl_scale.s_stream_pages)
+        ~detail:
+          (Printf.sprintf "%d touches over %d pages" plain.Wl_scale.s_touches
+             plain.Wl_scale.s_stream_pages);
+      Exp_report.check ~what:"stream: superpage leg takes >= 100x fewer faults"
+        ~pass:(sp.Wl_scale.s_faults > 0 && plain.Wl_scale.s_faults >= 100 * sp.Wl_scale.s_faults)
+        ~detail:
+          (Printf.sprintf "%d vs %d faults (%.0fx)" plain.Wl_scale.s_faults sp.Wl_scale.s_faults
+             (float_of_int plain.Wl_scale.s_faults /. float_of_int (max 1 sp.Wl_scale.s_faults)));
+      Exp_report.check ~what:"stream: superpage leg promoted and split regions"
+        ~pass:
+          (sp.Wl_scale.s_sp_promotions > 0 && sp.Wl_scale.s_sp_demotions > 0
+          && plain.Wl_scale.s_sp_promotions = 0)
+        ~detail:
+          (Printf.sprintf "%d promotions, %d demotions" sp.Wl_scale.s_sp_promotions
+             sp.Wl_scale.s_sp_demotions);
+    ]
   in
-  { mode = (if quick then "quick" else "full"); scales; driver; checks }
+  { mode = (if quick then "quick" else "full"); scales; stream; driver; checks }
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -131,6 +174,29 @@ let render r =
                 Printf.sprintf "%.0f" (per_sec w.Wl_scale.r_faults s.s_wall_s);
               ])
             r.scales));
+  Buffer.add_string buf
+    (Printf.sprintf "\nStreaming: 4 KB fills vs superpage runs (%s, %d pages/superpage)\n"
+       (match r.stream with s :: _ -> s.t_result.Wl_scale.s_name | [] -> "-")
+       (match r.stream with s :: _ -> s.t_result.Wl_scale.s_run | [] -> 0));
+  Buffer.add_string buf
+    (Exp_report.fmt_table
+       ~header:
+         [ "leg"; "pages"; "faults"; "migrates"; "promoted"; "split"; "sim (ms)"; "wall (s)" ]
+       ~rows:
+         (List.map
+            (fun s ->
+              let w = s.t_result in
+              [
+                (if w.Wl_scale.s_superpages then "superpage" else "4kb");
+                string_of_int w.Wl_scale.s_stream_pages;
+                string_of_int w.Wl_scale.s_faults;
+                string_of_int w.Wl_scale.s_migrate_calls;
+                string_of_int w.Wl_scale.s_sp_promotions;
+                string_of_int w.Wl_scale.s_sp_demotions;
+                Printf.sprintf "%.1f" (w.Wl_scale.s_sim_us /. 1000.0);
+                Printf.sprintf "%.2f" s.t_wall_s;
+              ])
+            r.stream));
   Buffer.add_string buf
     (Printf.sprintf
        "\nExperiment driver: sequential %.2fs, parallel %.2fs on %d job(s) (outputs %s)\n"
@@ -169,6 +235,31 @@ let to_json r =
                      J.Num (per_sec w.Wl_scale.r_migrated_pages s.s_wall_s) );
                  ])
              r.scales) );
+      ( "stream",
+        J.List
+          (List.map
+             (fun s ->
+               let w = s.t_result in
+               J.Obj
+                 [
+                   ("name", J.Str w.Wl_scale.s_name);
+                   ("superpages", J.Bool w.Wl_scale.s_superpages);
+                   ("memory_bytes", J.Num (float_of_int w.Wl_scale.s_memory_bytes));
+                   ("frames", J.Num (float_of_int w.Wl_scale.s_frames));
+                   ("pages_per_superpage", J.Num (float_of_int w.Wl_scale.s_run));
+                   ("stream_pages", J.Num (float_of_int w.Wl_scale.s_stream_pages));
+                   ("touches", J.Num (float_of_int w.Wl_scale.s_touches));
+                   ("faults", J.Num (float_of_int w.Wl_scale.s_faults));
+                   ("migrate_calls", J.Num (float_of_int w.Wl_scale.s_migrate_calls));
+                   ("migrated_pages", J.Num (float_of_int w.Wl_scale.s_migrated_pages));
+                   ("sp_promotions", J.Num (float_of_int w.Wl_scale.s_sp_promotions));
+                   ("sp_demotions", J.Num (float_of_int w.Wl_scale.s_sp_demotions));
+                   ("events", J.Num (float_of_int w.Wl_scale.s_events));
+                   ("sim_us", J.Num w.Wl_scale.s_sim_us);
+                   ("conserved", J.Bool w.Wl_scale.s_conserved);
+                   ("wall_s", J.Num s.t_wall_s);
+                 ])
+             r.stream) );
       ( "driver",
         J.Obj
           [
@@ -201,13 +292,13 @@ let render_json r = J.to_string ~indent:true (to_json r) ^ "\n"
 (* Schema validation                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let validate_json json =
+let validate_common ~expect_schema ~require_stream json =
   let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
   let require what = function Some v -> Ok v | None -> Error ("missing or ill-typed " ^ what) in
   let* schema = require "schema" (Option.bind (J.member "schema" json) J.to_str) in
   let* () =
-    if schema = schema_version then Ok ()
-    else Error (Printf.sprintf "schema %S, expected %S" schema schema_version)
+    if schema = expect_schema then Ok ()
+    else Error (Printf.sprintf "schema %S, expected %S" schema expect_schema)
   in
   let* _mode = require "mode" (Option.bind (J.member "mode" json) J.to_str) in
   let* scales = require "scales" (Option.bind (J.member "scales" json) J.to_list) in
@@ -229,6 +320,35 @@ let validate_json json =
         else Ok ())
       (Ok ()) scales
   in
+  let* () =
+    if not require_stream then Ok ()
+    else
+      let* legs = require "stream" (Option.bind (J.member "stream" json) J.to_list) in
+      let* () = if List.length legs = 2 then Ok () else Error "expected exactly two stream legs" in
+      let leg_field what leg get = require ("stream " ^ what) (Option.bind (J.member what leg) get) in
+      let* parsed =
+        List.fold_left
+          (fun acc leg ->
+            let* acc = acc in
+            let* sp = leg_field "superpages" leg J.to_bool in
+            let* conserved = leg_field "conserved" leg J.to_bool in
+            let* faults = leg_field "faults" leg J.to_float in
+            let* touches = leg_field "touches" leg J.to_float in
+            if not conserved then Error "stream leg: frame conservation failed"
+            else if faults <= 0.0 then Error "stream leg: no faults recorded"
+            else Ok ((sp, faults, touches) :: acc))
+          (Ok []) legs
+      in
+      let find want = List.find_opt (fun (sp, _, _) -> sp = want) parsed in
+      let* _, plain_faults, plain_touches = require "4 KB stream leg" (find false) in
+      let* _, sp_faults, sp_touches = require "superpage stream leg" (find true) in
+      if plain_touches <> sp_touches then Error "stream legs issued different reference counts"
+      else if plain_faults < 100.0 *. sp_faults then
+        Error
+          (Printf.sprintf "superpage leg only %.1fx fewer faults (need >= 100x)"
+             (plain_faults /. sp_faults))
+      else Ok ()
+  in
   let* drv = require "driver" (J.member "driver" json) in
   let* identical =
     require "parallel_identical" (Option.bind (J.member "parallel_identical" drv) J.to_bool)
@@ -244,3 +364,8 @@ let validate_json json =
       let* pass = require "check pass" (Option.bind (J.member "pass" c) J.to_bool) in
       if pass then Ok () else Error ("failed check: " ^ what))
     (Ok ()) checks
+
+let validate_json json = validate_common ~expect_schema:schema_version ~require_stream:true json
+
+let validate_json_v1 json =
+  validate_common ~expect_schema:schema_version_v1 ~require_stream:false json

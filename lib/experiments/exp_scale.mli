@@ -14,11 +14,22 @@
     fields as ratios. *)
 
 val schema_version : string
-(** ["vpp-perf/1"]. Bump when the record layout changes. *)
+(** ["vpp-perf/2"]. Bump when the record layout changes. v2 added the
+    [stream] leg: the same sequential stream at the largest machine size
+    run twice, with 4 KB fills and with superpage (2 MB) run grants. *)
+
+val schema_version_v1 : string
+(** ["vpp-perf/1"] — the pre-superpage layout, still accepted by
+    [vpp_repro validate] for old [BENCH_perf.json] files. *)
 
 type scale_row = {
   s_result : Wl_scale.result;
   s_wall_s : float;  (** Host seconds for the whole run. *)
+}
+
+type stream_row = {
+  t_result : Wl_scale.stream_result;
+  t_wall_s : float;
 }
 
 type driver = {
@@ -33,6 +44,9 @@ type driver = {
 type result = {
   mode : string;  (** ["full"] or ["quick"]. *)
   scales : scale_row list;
+  stream : stream_row list;
+      (** The 4 KB and superpage legs of {!Wl_scale.run_stream} at the
+          largest size in [scales] (4 GB full, 512 MB quick). *)
   driver : driver;
   checks : Exp_report.check list;
 }
@@ -52,5 +66,10 @@ val render_json : result -> string
 val validate_json : Sim_json.t -> (unit, string) Stdlib.result
 (** Structural schema check used by the perf-smoke rule: version string,
     at least two scales with positive deterministic counts and frame
-    conservation, a driver leg whose parallel output matched, and all
-    embedded shape checks passing. *)
+    conservation, exactly two stream legs issuing identical references
+    with the superpage leg at least 100x fewer faults, a driver leg whose
+    parallel output matched, and all embedded shape checks passing. *)
+
+val validate_json_v1 : Sim_json.t -> (unit, string) Stdlib.result
+(** The legacy [vpp-perf/1] check (no stream legs), kept so old records
+    still validate. *)

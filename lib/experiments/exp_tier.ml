@@ -238,21 +238,38 @@ let run_managed wk =
   let machine = Hw_machine.create ~tiers:(tiers_of wk) ~page_size () in
   let kernel = K.create machine in
   let mgr = T.create kernel ~fast_pool_capacity:32 ~slow_pool_capacity:32 () in
-  let seg = T.create_segment mgr ~name:(wk.wk_name ^ "-heap") ~pages:wk.wk_pages in
+  let seg = T.create_segment mgr ~name:(wk.wk_name ^ "-heap") ~pages:wk.wk_pages () in
   Engine.spawn machine.Hw_machine.engine (fun () -> wk.wk_trace kernel seg);
   Engine.run machine.Hw_machine.engine;
   finish ~mode:"managed" ~machine ~kernel ~seg ~mstats:(Some (T.stats mgr))
 
-let run_workload wk =
-  {
-    w_name = wk.wk_name;
-    w_fast_frames = wk.wk_fast_frames;
-    w_slow_frames = wk.wk_slow_frames;
-    w_pages = wk.wk_pages;
-    w_flat = run_plain ~mode:"flat" wk;
-    w_static = run_plain ~mode:"static" ~tiers:(tiers_of wk) wk;
-    w_managed = run_managed wk;
-  }
+(* Each workload's three legs are independent deterministic simulations,
+   so with --jobs they fan out over domains; the in-order join keeps the
+   assembled record identical to a sequential run. *)
+let run_workloads ~jobs wks =
+  let legs =
+    List.concat_map
+      (fun wk ->
+        [
+          (fun () -> run_plain ~mode:"flat" wk);
+          (fun () -> run_plain ~mode:"static" ~tiers:(tiers_of wk) wk);
+          (fun () -> run_managed wk);
+        ])
+      wks
+  in
+  let results = Exp_par.map ~jobs legs in
+  List.mapi
+    (fun i wk ->
+      {
+        w_name = wk.wk_name;
+        w_fast_frames = wk.wk_fast_frames;
+        w_slow_frames = wk.wk_slow_frames;
+        w_pages = wk.wk_pages;
+        w_flat = List.nth results (3 * i);
+        w_static = List.nth results ((3 * i) + 1);
+        w_managed = List.nth results ((3 * i) + 2);
+      })
+    wks
 
 (* ------------------------------------------------------------------ *)
 (* The record                                                          *)
@@ -297,13 +314,13 @@ let checks_of ~expect_compressed r =
            r.w_managed.g_demotions_compressed r.w_managed.g_refetches);
   ]
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?(jobs = 1) () =
   let rounds = 1500 in
   let workloads =
     if quick then [ scale_workload ~rounds ]
     else [ scale_workload ~rounds; btree_workload ~rounds:1200 ]
   in
-  let runs = List.map run_workload workloads in
+  let runs = run_workloads ~jobs workloads in
   let checks =
     List.concat_map
       (fun (wk, r) -> checks_of ~expect_compressed:wk.wk_expect_compressed r)

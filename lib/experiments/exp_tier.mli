@@ -52,9 +52,12 @@ type result = { mode : string; runs : run_row list; checks : Exp_report.check li
 val schema_version : string
 (** ["vpp-tier/1"]. *)
 
-val run : ?quick:bool -> unit -> result
+val run : ?quick:bool -> ?jobs:int -> unit -> result
 (** [quick] drops the B-tree workload (the compressed-store leg), for the
-    [@tier-smoke] alias. *)
+    [@tier-smoke] alias. [jobs] (default 1) fans the independent
+    workload legs out over that many domains via {!Exp_par}; the
+    in-order join keeps the record byte-identical to a sequential
+    run. *)
 
 val render : result -> string
 val to_json : result -> Sim_json.t

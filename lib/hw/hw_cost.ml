@@ -33,6 +33,10 @@ type t = {
   vnode_lookup : float;
   ultrix_fault_service : float;
   ultrix_write_bookkeeping : float;
+  tlb_refill_super : float;
+  pte_update_super : float;
+  superpage_promote : float;
+  superpage_demote : float;
   mips : float;
 }
 
@@ -72,6 +76,10 @@ let decstation_5000_200 =
     vnode_lookup = 36.0;
     ultrix_fault_service = 70.0;
     ultrix_write_bookkeeping = 100.0;
+    tlb_refill_super = 0.8;
+    pte_update_super = 4.0;
+    superpage_promote = 30.0;
+    superpage_demote = 20.0;
     mips = 25.0;
   }
 

@@ -78,6 +78,19 @@ type t = {
   vnode_lookup : float;
   ultrix_fault_service : float;  (** Ultrix kernel fault service, sans zero. *)
   ultrix_write_bookkeeping : float;
+  (* superpage (2 MB) translation micro-ops — charged {e only} on
+     superpage paths (promotion, demotion/split, super TLB refills), so
+     a machine that never installs a superpage charges none of these and
+     the Table 1 identities above are untouched. *)
+  tlb_refill_super : float;  (** Software refill of one 2 MB TLB entry. *)
+  pte_update_super : float;  (** Install/update one 2 MB mapping entry. *)
+  superpage_promote : float;
+      (** Fold an aligned run of resident 4 KB mappings into one
+          superpage (scan + merge bookkeeping), on top of
+          [pte_update_super] for the install. *)
+  superpage_demote : float;
+      (** Split one superpage back to 4 KB granularity (the demoted
+          pages rebuild their 4 KB entries lazily via segment walks). *)
   (* compute *)
   mips : float;  (** Instructions per microsecond of one CPU. *)
 }

@@ -12,10 +12,13 @@ type t = {
   cost : Hw_cost.t;
   trace : Trace.t;
   metrics : Sim_metrics.t;
+  super_pages : int;
 }
 
 let create ?(preset = Decstation_5000_200) ?(memory_bytes = 16 * 1024 * 1024)
-    ?(page_size = 4096) ?(n_colors = 16) ?tiers ?(trace = false) ?disk_params () =
+    ?(page_size = 4096) ?(n_colors = 16) ?tiers ?(super_pages = 512) ?(trace = false)
+    ?disk_params () =
+  if super_pages <= 0 then invalid_arg "Hw_machine.create: super_pages must be positive";
   let engine = Engine.create () in
   let cost =
     match preset with
@@ -34,19 +37,22 @@ let create ?(preset = Decstation_5000_200) ?(memory_bytes = 16 * 1024 * 1024)
      hashed page tables it models (one entry per frame, 64K minimum so
      every paper-scale machine keeps the historical geometry). *)
   let pt_slots = max 65536 (Hw_phys_mem.n_frames mem) in
+  let super_slots = max 1024 (Hw_phys_mem.n_frames mem / super_pages) in
   {
     engine;
     mem;
-    page_table = Hw_page_table.create ~slots:pt_slots ();
-    tlb = Hw_tlb.create ();
+    page_table = Hw_page_table.create ~slots:pt_slots ~super_slots ~super_pages ();
+    tlb = Hw_tlb.create ~super_pages ();
     disk;
     cost;
     trace = Trace.create ~enabled:trace ();
     metrics;
+    super_pages;
   }
 
 let page_size t = Hw_phys_mem.page_size t.mem
 let n_frames t = Hw_phys_mem.n_frames t.mem
+let super_pages t = t.super_pages
 let charge ?label t us =
   (* Outside a simulation process (plain unit tests) state transitions
      still happen; time simply does not advance. *)

@@ -12,6 +12,7 @@ type t = {
   cost : Hw_cost.t;
   trace : Sim_trace.t;
   metrics : Sim_metrics.t;
+  super_pages : int;
 }
 
 val create :
@@ -20,6 +21,7 @@ val create :
   ?page_size:int ->
   ?n_colors:int ->
   ?tiers:Hw_phys_mem.tier_spec list ->
+  ?super_pages:int ->
   ?trace:bool ->
   ?disk_params:Hw_disk.params ->
   unit ->
@@ -30,10 +32,18 @@ val create :
     1–3); SGI 4D/380 for Table 4. [tiers] builds a multi-tier memory
     ({!Hw_phys_mem.create_tiered}) and supersedes [memory_bytes]; without
     it, memory is one zero-surcharge DRAM tier and the machine behaves
-    byte-identically to the pre-tier model. *)
+    byte-identically to the pre-tier model. [super_pages] is the number
+    of base pages per superpage (default 512, i.e. 2 MB of 4 KB pages),
+    sizing the page table's and TLB's superpage areas; machines that
+    never promote a superpage behave byte-identically regardless of its
+    value. *)
 
 val page_size : t -> int
 val n_frames : t -> int
+
+val super_pages : t -> int
+(** Base pages per superpage mapping ([super_pages] at {!create}). *)
+
 val charge : ?label:string -> t -> float -> unit
 (** Advance the calling process by a cost-model amount (clamped at 0).
     Outside a simulation process this is a no-op, so semantics-only unit

@@ -1,22 +1,40 @@
 type prot = { readable : bool; writable : bool }
 
-type entry = { space : int; vpn : int; frame : int; prot : prot }
+type size = Base | Super
+
+type entry = { space : int; vpn : int; frame : int; prot : prot; size : size }
 
 type t = {
   slots : entry option array;
   overflow : entry option array;
   mutable overflow_next : int;  (* round-robin victim pointer *)
+  (* Superpage area: direct-mapped, keyed by (space, svpn) where
+     svpn = vpn / super_pages. [super_live] guards every probe so a
+     machine that never installs a superpage takes the exact same
+     branches — and accumulates the exact same statistics — as the
+     pre-superpage table. *)
+  super : entry option array;
+  super_pages : int;
+  mutable super_live : int;
+  mutable super_hits : int;
+  mutable super_collisions : int;
   mutable hits : int;
   mutable misses : int;
   mutable collisions : int;
 }
 
-let create ?(slots = 65536) ?(overflow = 32) () =
+let create ?(slots = 65536) ?(overflow = 32) ?(super_slots = 1024) ?(super_pages = 512) () =
   if slots <= 0 || overflow < 0 then invalid_arg "Hw_page_table.create";
+  if super_slots <= 0 || super_pages <= 0 then invalid_arg "Hw_page_table.create";
   {
     slots = Array.make slots None;
     overflow = Array.make overflow None;
     overflow_next = 0;
+    super = Array.make super_slots None;
+    super_pages;
+    super_live = 0;
+    super_hits = 0;
+    super_collisions = 0;
     hits = 0;
     misses = 0;
     collisions = 0;
@@ -25,6 +43,10 @@ let create ?(slots = 65536) ?(overflow = 32) () =
 let slot_of t ~space ~vpn =
   let h = (space * 0x9E3779B1) lxor (vpn * 0x85EBCA77) in
   abs h mod Array.length t.slots
+
+let super_slot_of t ~space ~svpn =
+  let h = (space * 0x9E3779B1) lxor (svpn * 0xC2B2AE35) in
+  abs h mod Array.length t.super
 
 let matches e ~space ~vpn = e.space = space && e.vpn = vpn
 
@@ -54,7 +76,7 @@ let overflow_drop t ~space ~vpn =
 
 let insert t ~space ~vpn ~frame ~prot =
   let i = slot_of t ~space ~vpn in
-  let e = { space; vpn; frame; prot } in
+  let e = { space; vpn; frame; prot; size = Base } in
   (match t.slots.(i) with
   | Some old when not (matches old ~space ~vpn) ->
       t.collisions <- t.collisions + 1;
@@ -64,25 +86,70 @@ let insert t ~space ~vpn ~frame ~prot =
   overflow_drop t ~space ~vpn;
   t.slots.(i) <- Some e
 
+let super_pages t = t.super_pages
+
+let insert_super t ~space ~svpn ~frame ~prot =
+  let i = super_slot_of t ~space ~svpn in
+  (match t.super.(i) with
+  | Some old when not (matches old ~space ~vpn:svpn) ->
+      (* Colliding superpage entry is simply displaced (rebuilt from the
+         kernel's region table on demand, like a dropped overflow entry). *)
+      t.super_collisions <- t.super_collisions + 1;
+      t.super_live <- t.super_live - 1
+  | Some _ -> t.super_live <- t.super_live - 1
+  | None -> ());
+  t.super.(i) <- Some { space; vpn = svpn; frame; prot; size = Super };
+  t.super_live <- t.super_live + 1
+
+let remove_super t ~space ~svpn =
+  let i = super_slot_of t ~space ~svpn in
+  match t.super.(i) with
+  | Some e when matches e ~space ~vpn:svpn ->
+      t.super.(i) <- None;
+      t.super_live <- t.super_live - 1
+  | Some _ | None -> ()
+
+let lookup_sized t ~space ~vpn =
+  (* Superpage probe first — but only when a superpage is live anywhere,
+     so flat machines keep byte-identical statistics. *)
+  let super_hit =
+    if t.super_live > 0 then begin
+      let svpn = vpn / t.super_pages in
+      match t.super.(super_slot_of t ~space ~svpn) with
+      | Some e when matches e ~space ~vpn:svpn ->
+          t.hits <- t.hits + 1;
+          t.super_hits <- t.super_hits + 1;
+          Some (e.frame + (vpn - (svpn * t.super_pages)), e.prot, Super)
+      | Some _ | None -> None
+    end
+    else None
+  in
+  match super_hit with
+  | Some _ as r -> r
+  | None -> (
+      let i = slot_of t ~space ~vpn in
+      match t.slots.(i) with
+      | Some e when matches e ~space ~vpn ->
+          t.hits <- t.hits + 1;
+          Some (e.frame, e.prot, Base)
+      | _ ->
+          let n = Array.length t.overflow in
+          let j = ref 0 and found = ref None in
+          while !found = None && !j < n do
+            (match t.overflow.(!j) with
+            | Some e when matches e ~space ~vpn -> found := Some (e.frame, e.prot, Base)
+            | Some _ | None -> ());
+            incr j
+          done;
+          (match !found with
+          | Some _ -> t.hits <- t.hits + 1
+          | None -> t.misses <- t.misses + 1);
+          !found)
+
 let lookup t ~space ~vpn =
-  let i = slot_of t ~space ~vpn in
-  match t.slots.(i) with
-  | Some e when matches e ~space ~vpn ->
-      t.hits <- t.hits + 1;
-      Some (e.frame, e.prot)
-  | _ ->
-      let n = Array.length t.overflow in
-      let j = ref 0 and found = ref None in
-      while !found = None && !j < n do
-        (match t.overflow.(!j) with
-        | Some e when matches e ~space ~vpn -> found := Some (e.frame, e.prot)
-        | Some _ | None -> ());
-        incr j
-      done;
-      (match !found with
-      | Some _ -> t.hits <- t.hits + 1
-      | None -> t.misses <- t.misses + 1);
-      !found
+  match lookup_sized t ~space ~vpn with
+  | Some (frame, prot, _) -> Some (frame, prot)
+  | None -> None
 
 let remove t ~space ~vpn =
   let i = slot_of t ~space ~vpn in
@@ -97,12 +164,24 @@ let remove_space t ~space =
     t.slots;
   Array.iteri
     (fun i o -> match o with Some e when e.space = space -> t.overflow.(i) <- None | _ -> ())
-    t.overflow
+    t.overflow;
+  if t.super_live > 0 then
+    Array.iteri
+      (fun i o ->
+        match o with
+        | Some e when e.space = space ->
+            t.super.(i) <- None;
+            t.super_live <- t.super_live - 1
+        | _ -> ())
+      t.super
 
 let capacity t = Array.length t.slots
 let hits t = t.hits
 let misses t = t.misses
 let collisions t = t.collisions
+let super_hits t = t.super_hits
+let super_collisions t = t.super_collisions
+let super_resident t = t.super_live
 
 let resident t =
   let count arr = Array.fold_left (fun acc o -> if o = None then acc else acc + 1) 0 arr in

@@ -178,6 +178,30 @@ let frames_in_range ?tier:tk t ~lo_addr ~hi_addr =
     !acc
   end
 
+(* Aligned-run search for superpage backing: walk [run]-aligned windows
+   of the tier's contiguous index interval and accept the first whose
+   frames all carry [owned_by]'s owner tag. On a mismatch at index j the
+   cursor jumps to the next aligned window past j, so a monotonic caller
+   scans each frame at most once across a whole streaming pass. *)
+let find_aligned_run ?tier:tk t ~start ~run ~owned_by =
+  if run <= 0 then invalid_arg "Hw_phys_mem.find_aligned_run: run must be positive";
+  let first, count =
+    match tk with None -> (0, Array.length t.frames) | Some k -> tier_bounds t k
+  in
+  let limit = first + count in
+  let align i = (i + run - 1) / run * run in
+  let result = ref (-1) in
+  let s = ref (align (max start first)) in
+  while !result < 0 && !s + run <= limit do
+    let j = ref (!s + run - 1) in
+    (* Scan back to front: the highest mismatch gives the longest jump. *)
+    while !j >= !s && t.owners.(!j) = owned_by do
+      decr j
+    done;
+    if !j < !s then result := !s else s := align (!j + 1)
+  done;
+  if !result < 0 then None else Some !result
+
 let zero_frame t i = (frame t i).data <- Hw_page_data.Zero
 
 let copy_frame t ~src ~dst =

@@ -96,6 +96,14 @@ val frames_in_range : ?tier:int -> t -> lo_addr:int -> hi_addr:int -> int list
     optionally intersected with one tier. Frames are contiguous, so the
     interval maps to index arithmetic: O(result), no frame-array scan. *)
 
+val find_aligned_run : ?tier:int -> t -> start:int -> run:int -> owned_by:int -> int option
+(** First frame of the lowest [run]-aligned window at or after [start]
+    (within [tier] when given) whose frames all carry owner tag
+    [owned_by] — the physical backing of one superpage. On a mismatch
+    the search jumps past the offending frame, so a caller that advances
+    [start] monotonically pays O(frames) over a whole streaming pass,
+    not per call. *)
+
 val zero_frame : t -> int -> unit
 val copy_frame : t -> src:int -> dst:int -> unit
 

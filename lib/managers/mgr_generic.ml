@@ -35,6 +35,8 @@ let default_hooks ~backing =
 
 type source = dst:Epcm_segment.id -> dst_page:int -> count:int -> int
 
+type sp_source = dst:Epcm_segment.id -> dst_page:int -> int
+
 exception Out_of_frames of string
 
 type stats = {
@@ -51,7 +53,7 @@ type stats = {
   mutable writeback_failures : int;
 }
 
-type seg_info = { kind : seg_kind; mutable high_water : int }
+type seg_info = { kind : seg_kind; mutable high_water : int; sp : bool }
 
 type clock_entry = { ce_seg : Seg.id; ce_page : int; mutable ce_dead : bool }
 
@@ -62,6 +64,7 @@ type t = {
   pool : Mgr_free_pages.t;
   backing : Mgr_backing.t;
   source : source option;
+  sp_source : sp_source option;
   hooks : hooks;
   refill_batch : int;
   reclaim_batch : int;
@@ -254,8 +257,45 @@ let track t seg page =
   t.ring <- { ce_seg = seg; ce_page = page; ce_dead = false } :: t.ring;
   t.ring_len <- t.ring_len + 1
 
-let handle_missing t (fault : Mgr.fault) =
-  let inf = info t fault.Mgr.f_seg in
+(* Superpage grant: when the faulting segment opted in and the whole
+   covering region is still empty, ask the run source for one aligned
+   frame run — a single contiguous MigratePages the kernel promotes to a
+   2 MB mapping. Returns false (caller takes the 4 KB path) when no run
+   is available, the region straddles the segment end, or part of it is
+   already resident. *)
+let try_superpage_fill t (fault : Mgr.fault) inf seg =
+  match t.sp_source with
+  | None -> false
+  | Some grant ->
+      let run = K.super_pages t.kern in
+      let sbase = fault.Mgr.f_page / run * run in
+      if sbase + run > Seg.length seg then false
+      else begin
+        let empty = ref true and i = ref 0 in
+        while !empty && !i < run do
+          if (Seg.page seg (sbase + !i)).Seg.frame <> None then empty := false;
+          incr i
+        done;
+        !empty
+        &&
+        let got = grant ~dst:fault.Mgr.f_seg ~dst_page:sbase in
+        got > 0
+        && begin
+             t.stats.refill_requests <- t.stats.refill_requests + 1;
+             t.stats.frames_from_source <- t.stats.frames_from_source + got;
+             inf.high_water <- max inf.high_water (sbase + got);
+             for i = 0 to got - 1 do
+               track t fault.Mgr.f_seg (sbase + i)
+             done;
+             t.stats.fills <- t.stats.fills + 1;
+             Hw_machine.trace_emit (K.machine t.kern) ~tag:"step2-3.superpage_fill" (fun () ->
+                 Printf.sprintf "seg %d pages %d..%d (aligned run)" fault.Mgr.f_seg sbase
+                   (sbase + got - 1));
+             true
+           end
+      end
+
+let handle_missing_base t (fault : Mgr.fault) inf =
   let machine = K.machine t.kern in
   let batch =
     max 1
@@ -313,6 +353,11 @@ let handle_missing t (fault : Mgr.fault) =
     track t fault.Mgr.f_seg (fault.Mgr.f_page + i)
   done;
   t.stats.fills <- t.stats.fills + 1
+
+let handle_missing t (fault : Mgr.fault) =
+  let inf = info t fault.Mgr.f_seg in
+  if inf.sp && try_superpage_fill t fault inf (K.segment t.kern fault.Mgr.f_seg) then ()
+  else handle_missing_base t fault inf
 
 let handle_protection t (fault : Mgr.fault) =
   (* Clock sampling: re-enable a run of contiguous protected pages at once
@@ -438,8 +483,8 @@ let swap_in t =
       done)
     (Hashtbl.fold (fun k _ acc -> k :: acc) t.segs [])
 
-let create kern ~name ~mode ~backing ?source ?hooks ?(pool_capacity = 1024) ?(refill_batch = 32)
-    ?(reclaim_batch = 16) ?counters () =
+let create kern ~name ~mode ~backing ?source ?sp_source ?hooks ?(pool_capacity = 1024)
+    ?(refill_batch = 32) ?(reclaim_batch = 16) ?counters () =
   let hooks = match hooks with Some h -> h | None -> default_hooks ~backing in
   let pool = Mgr_free_pages.create kern ~name:(name ^ ".free-pages") ~capacity:pool_capacity in
   let t =
@@ -450,6 +495,7 @@ let create kern ~name ~mode ~backing ?source ?hooks ?(pool_capacity = 1024) ?(re
       pool;
       backing;
       source;
+      sp_source;
       hooks;
       refill_batch;
       reclaim_batch;
@@ -480,7 +526,7 @@ let create kern ~name ~mode ~backing ?source ?hooks ?(pool_capacity = 1024) ?(re
       ();
   t
 
-let adopt t seg ~kind ?high_water () =
+let adopt t seg ~kind ?high_water ?(superpages = false) () =
   let s = K.segment t.kern seg in
   let hw =
     match (high_water, kind) with
@@ -488,16 +534,18 @@ let adopt t seg ~kind ?high_water () =
     | None, Anon -> 0
     | None, File _ -> Seg.length s
   in
-  Hashtbl.replace t.segs seg { kind; high_water = hw };
+  Hashtbl.replace t.segs seg { kind; high_water = hw; sp = superpages };
   K.set_segment_manager t.kern seg t.mid;
+  if superpages then K.set_superpages t.kern ~seg ~enabled:true;
   (* Track already-resident pages so the clock can see them. *)
   Array.iteri (fun i slot -> if slot.Seg.frame <> None then track t seg i) s.Seg.pages
 
-let create_segment t ~name ~pages ~kind ?high_water () =
+let create_segment t ~name ~pages ~kind ?high_water ?(superpages = false) () =
   let seg = K.create_segment t.kern ~name ~pages () in
   let hw = match (high_water, kind) with Some h, _ -> h | None, _ -> 0 in
-  Hashtbl.replace t.segs seg { kind; high_water = hw };
+  Hashtbl.replace t.segs seg { kind; high_water = hw; sp = superpages };
   K.set_segment_manager t.kern seg t.mid;
+  if superpages then K.set_superpages t.kern ~seg ~enabled:true;
   seg
 
 let close_segment t seg = K.destroy_segment t.kern seg

@@ -39,6 +39,14 @@ type source = dst:Epcm_segment.id -> dst_page:int -> count:int -> int
 (** Ask the system page cache manager for frames, migrated into
     [dst_page..] of [dst]; returns how many were granted. *)
 
+type sp_source = dst:Epcm_segment.id -> dst_page:int -> int
+(** Ask the system page cache manager for one whole aligned superpage run
+    migrated to superpage-aligned [dst_page] of [dst] (typically
+    {!Epcm_kernel.grant_superpage_run} behind a cursor). Returns the
+    number of frames granted: [Epcm_kernel.super_pages] on success, [0]
+    when no aligned run was available — the fault then falls back to the
+    ordinary 4 KB path. *)
+
 exception Out_of_frames of string
 (** No pool frames, the source granted nothing, and nothing was
     reclaimable. *)
@@ -70,6 +78,7 @@ val create :
   mode:Epcm_manager.mode ->
   backing:Mgr_backing.t ->
   ?source:source ->
+  ?sp_source:sp_source ->
   ?hooks:hooks ->
   ?pool_capacity:int ->
   ?refill_batch:int ->
@@ -90,15 +99,28 @@ val pool : t -> Mgr_free_pages.t
 val backing : t -> Mgr_backing.t
 val stats : t -> stats
 
-val adopt : t -> Epcm_segment.id -> kind:seg_kind -> ?high_water:int -> unit -> unit
+val adopt :
+  t -> Epcm_segment.id -> kind:seg_kind -> ?high_water:int -> ?superpages:bool -> unit -> unit
 (** Take over management of an existing segment ([SetSegmentManager]).
     [high_water] is the number of pages with valid backing data (file
     size); defaults to 0 for [Anon] and to the segment length for
-    [File]. *)
+    [File]. [superpages] (default [false]) opts the segment into 2 MB
+    mappings ({!Epcm_kernel.set_superpages}); a missing fault on an empty
+    superpage-aligned region then first asks [sp_source] — when one was
+    given to {!create} — for a whole aligned run before falling back to
+    4 KB fills. *)
 
 val create_segment :
-  t -> name:string -> pages:int -> kind:seg_kind -> ?high_water:int -> unit -> Epcm_segment.id
-(** Create a fresh segment already managed by this manager. *)
+  t ->
+  name:string ->
+  pages:int ->
+  kind:seg_kind ->
+  ?high_water:int ->
+  ?superpages:bool ->
+  unit ->
+  Epcm_segment.id
+(** Create a fresh segment already managed by this manager. [superpages]
+    as in {!adopt}. *)
 
 val close_segment : t -> Epcm_segment.id -> unit
 (** Destroy the segment; resident frames are reclaimed into the pool

@@ -12,6 +12,7 @@ type stats = {
   mutable demotions_compressed : int;
   mutable protection_clears : int;
   mutable cow_fills : int;
+  mutable sp_fills : int;
 }
 
 let fresh_stats () =
@@ -23,6 +24,7 @@ let fresh_stats () =
     demotions_compressed = 0;
     protection_clears = 0;
     cow_fills = 0;
+    sp_fills = 0;
   }
 
 type clock_entry = { ce_seg : Seg.id; ce_page : int; mutable ce_dead : bool }
@@ -73,7 +75,9 @@ type t = {
   slow_clock : clock;
   refill_batch : int;
   reclaim_batch : int;
-  segs : (Seg.id, unit) Hashtbl.t;
+  segs : (Seg.id, bool) Hashtbl.t;  (* value: segment opted into superpages *)
+  mutable sp_segs : int;  (* opted-in segments — 0 keeps fault paths byte-identical *)
+  mutable sp_cursor : int;  (* next start frame for aligned-run searches *)
   stats : stats;
   (* Same discipline as Mgr_generic: one fault at a time — tier moves are
      multi-step (read data, put_from, set_next_data, take_to) and would
@@ -254,7 +258,50 @@ let need_fast t n =
 (* Fault handling                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* A missing fault on an opted-in segment whose whole aligned region is
+   empty (and not hiding in the compressed store) is served by one
+   contiguous run grant from the fast tier; the kernel promotes the
+   region as part of the migrate. Falls back to the 4 KB path when no
+   aligned identity run is free. *)
+let try_superpage_fill t ~seg ~page =
+  t.sp_segs > 0
+  && Hashtbl.find_opt t.segs seg = Some true
+  &&
+  let run = K.super_pages t.kern in
+  let s = K.segment t.kern seg in
+  let sbase = page / run * run in
+  sbase + run <= Seg.length s
+  && (let ok = ref true in
+      let i = ref sbase in
+      while !ok && !i < sbase + run do
+        if
+          (Seg.page s !i).Seg.frame <> None
+          || Mgr_compressed.has t.compressed ~seg ~page:!i
+        then ok := false;
+        incr i
+      done;
+      !ok)
+  &&
+  let grant start = K.grant_superpage_run ~tier:t.fast_tier t.kern ~dst:seg ~dst_page:sbase ~start in
+  let granted =
+    match grant t.sp_cursor with
+    | Some base -> Some base
+    | None -> if t.sp_cursor > 0 then grant 0 else None
+  in
+  match granted with
+  | None -> false
+  | Some base ->
+      t.sp_cursor <- base + run;
+      for p = sbase to sbase + run - 1 do
+        track t.fast_clock seg p
+      done;
+      t.stats.sp_fills <- t.stats.sp_fills + 1;
+      t.stats.fills <- t.stats.fills + run;
+      true
+
 let handle_missing t ~seg ~page =
+  if try_superpage_fill t ~seg ~page then ()
+  else begin
   need_fast t 1;
   (* Fetch only once a frame is secured — fetch removes the store entry,
      and an Out_of_frames after that would lose the page. *)
@@ -270,6 +317,7 @@ let handle_missing t ~seg ~page =
   in
   assert (moved = 1);
   track t.fast_clock seg page
+  end
 
 let promote t ~seg ~page =
   if ensure_fast t 1 then begin
@@ -340,6 +388,9 @@ let on_fault t (fault : Mgr.fault) =
   | Mgr.Cow_write -> handle_cow t fault
 
 let on_close t seg =
+  (match Hashtbl.find_opt t.segs seg with
+  | Some true -> t.sp_segs <- t.sp_segs - 1
+  | _ -> ());
   Hashtbl.remove t.segs seg;
   purge_segment t.fast_clock seg;
   purge_segment t.slow_clock seg
@@ -392,6 +443,8 @@ let create kern ?(name = "tiered-manager") ?(fast_tier = 0) ?(slow_tier = 1) ?co
       refill_batch;
       reclaim_batch;
       segs = Hashtbl.create 16;
+      sp_segs = 0;
+      sp_cursor = 0;
       stats = fresh_stats ();
       serving = Sim_sync.Semaphore.create 1;
     }
@@ -410,15 +463,22 @@ let create kern ?(name = "tiered-manager") ?(fast_tier = 0) ?(slow_tier = 1) ?co
       ();
   t
 
-let create_segment t ~name ~pages =
+let register_seg t seg ~superpages =
+  Hashtbl.replace t.segs seg superpages;
+  if superpages then begin
+    t.sp_segs <- t.sp_segs + 1;
+    K.set_superpages t.kern ~seg ~enabled:true
+  end
+
+let create_segment t ~name ~pages ?(superpages = false) () =
   let seg = K.create_segment t.kern ~name ~pages () in
   K.set_segment_manager t.kern seg t.mid;
-  Hashtbl.replace t.segs seg ();
+  register_seg t seg ~superpages;
   seg
 
-let adopt t seg =
+let adopt t ?(superpages = false) seg =
   K.set_segment_manager t.kern seg t.mid;
-  Hashtbl.replace t.segs seg ();
+  register_seg t seg ~superpages;
   let s = K.segment t.kern seg in
   let mem = (K.machine t.kern).Hw_machine.mem in
   Array.iteri

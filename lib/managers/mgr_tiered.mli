@@ -38,6 +38,9 @@ type stats = {
   mutable protection_clears : int;
       (** Protection faults resolved in place (no promotion). *)
   mutable cow_fills : int;
+  mutable sp_fills : int;
+      (** Missing faults served by one whole superpage-run grant from the
+          fast tier (each also counts [super_pages] towards [fills]). *)
 }
 
 type t
@@ -64,11 +67,20 @@ val create :
     [slow_tier] to tier 1; they must be distinct and in range for the
     machine. *)
 
-val create_segment : t -> name:string -> pages:int -> Epcm_segment.id
+val create_segment :
+  t -> name:string -> pages:int -> ?superpages:bool -> unit -> Epcm_segment.id
+(** [superpages] (default [false]) opts the segment into 2 MB mappings
+    ({!Epcm_kernel.set_superpages}): a missing fault on a fully-empty
+    aligned region is then served by one contiguous fast-tier run grant
+    ({!Epcm_kernel.grant_superpage_run}) — promoted as part of the
+    migrate — with per-page fills as the fallback. Clock demotion of any
+    page of a promoted run splits it back to 4 KB automatically (the
+    kernel demotes on the slot invalidation). *)
 
-val adopt : t -> Epcm_segment.id -> unit
+val adopt : t -> ?superpages:bool -> Epcm_segment.id -> unit
 (** Take over an existing segment; already-resident pages are entered
-    into the clock of whichever tier their frame belongs to. *)
+    into the clock of whichever tier their frame belongs to.
+    [superpages] as in {!create_segment}. *)
 
 val kernel : t -> Epcm_kernel.t
 val manager_id : t -> Epcm_manager.id

@@ -53,6 +53,99 @@ let capped_source kernel ~budget =
     granted_total := !granted_total + !granted;
     !granted
 
+type stream_result = {
+  s_name : string;
+  s_memory_bytes : int;
+  s_frames : int;
+  s_superpages : bool;
+  s_run : int;
+  s_stream_pages : int;
+  s_touches : int;
+  s_faults : int;
+  s_migrate_calls : int;
+  s_migrated_pages : int;
+  s_sp_promotions : int;
+  s_sp_demotions : int;
+  s_events : int;
+  s_sim_us : float;
+  s_conserved : bool;
+}
+
+let run_stream ?(superpages = false) cfg =
+  let machine = Hw_machine.create ~memory_bytes:cfg.c_memory_bytes ~page_size:cfg.c_page_size () in
+  let kernel = K.create machine in
+  let frames = Hw_machine.n_frames machine in
+  let run = K.super_pages kernel in
+  (* Half of memory, rounded to whole superpage regions so both legs
+     stream the same page count. *)
+  let stream_pages = max run (frames / 2 / run * run) in
+  let slack = run in
+  let backing = Mgr_backing.memory () in
+  let sp_source =
+    (* One whole aligned run per request, scanned monotonically — the
+       SPCM stand-in for superpage-backed streaming. *)
+    let cursor = ref 0 in
+    fun ~dst ~dst_page ->
+      match K.grant_superpage_run kernel ~dst ~dst_page ~start:!cursor with
+      | Some base ->
+          cursor := base + run;
+          run
+      | None -> 0
+  in
+  let pager =
+    G.create kernel ~name:"stream-pager" ~mode:`In_process ~backing
+      ~source:(capped_source kernel ~budget:(stream_pages + slack))
+      ?sp_source:(if superpages then Some sp_source else None)
+      ~pool_capacity:(stream_pages + slack) ~refill_batch:256 ()
+  in
+  let seg =
+    G.create_segment pager ~name:"stream-heap" ~pages:stream_pages ~kind:G.Anon ~superpages ()
+  in
+  Engine.spawn machine.Hw_machine.engine (fun () ->
+      (* Phase 1: cold sequential stream. With superpages on, the first
+         touch of each aligned region pulls one whole run in a single
+         MigratePages and the region promotes — the remaining 511 touches
+         never fault. *)
+      for page = 0 to stream_pages - 1 do
+        K.touch kernel ~space:seg ~page ~access:Mgr.Write
+      done;
+      (* Phase 2: warm rescan — the translation fast path; promoted
+         regions serve whole runs from one mapping entry. *)
+      for page = 0 to stream_pages - 1 do
+        K.touch kernel ~space:seg ~page ~access:Mgr.Read
+      done;
+      (* Phase 3: evict part of the first region — on the superpage leg
+         this splits the 2 MB mapping back to 4 KB — then re-touch it,
+         refaulting through the ordinary pool path. *)
+      let quarter = max 1 (run / 4) in
+      K.release_frames kernel ~seg ~page:0 ~count:quarter;
+      for page = 0 to quarter - 1 do
+        K.touch kernel ~space:seg ~page ~access:Mgr.Write
+      done);
+  Engine.run machine.Hw_machine.engine;
+  let stats = K.stats kernel in
+  let faults = stats.K.faults_missing + stats.K.faults_protection + stats.K.faults_cow in
+  {
+    s_name = cfg.c_name;
+    s_memory_bytes = cfg.c_memory_bytes;
+    s_frames = frames;
+    s_superpages = superpages;
+    s_run = run;
+    s_stream_pages = stream_pages;
+    s_touches = stats.K.touches;
+    s_faults = faults;
+    s_migrate_calls = stats.K.migrate_calls;
+    s_migrated_pages = stats.K.migrated_pages;
+    s_sp_promotions = stats.K.sp_promotions;
+    s_sp_demotions = stats.K.sp_demotions;
+    s_events = Engine.events_executed machine.Hw_machine.engine;
+    s_sim_us = Hw_machine.now machine;
+    s_conserved =
+      K.frame_owner_total kernel = frames
+      && K.frame_owner_audit kernel = K.frame_owner_audit_scan kernel
+      && Engine.live_processes machine.Hw_machine.engine = 0;
+  }
+
 let run cfg =
   let machine = Hw_machine.create ~memory_bytes:cfg.c_memory_bytes ~page_size:cfg.c_page_size () in
   let kernel = K.create machine in

@@ -49,3 +49,33 @@ val standard_sizes : config list
 (** [8 MB; 512 MB; 4 GB] — the three sizes the perf record reports. *)
 
 val run : config -> result
+
+(** {2 Streaming leg (superpage comparison)} *)
+
+type stream_result = {
+  s_name : string;
+  s_memory_bytes : int;
+  s_frames : int;
+  s_superpages : bool;  (** Whether the stream segment was opted in. *)
+  s_run : int;  (** Base pages per superpage on this machine. *)
+  s_stream_pages : int;  (** Pages streamed (a multiple of [s_run]). *)
+  s_touches : int;
+  s_faults : int;
+  s_migrate_calls : int;
+  s_migrated_pages : int;
+  s_sp_promotions : int;
+  s_sp_demotions : int;
+  s_events : int;
+  s_sim_us : float;
+  s_conserved : bool;
+}
+
+val run_stream : ?superpages:bool -> config -> stream_result
+(** Sequential stream over half of memory (rounded to whole superpage
+    regions), a warm rescan, then a partial eviction + re-touch of the
+    first region. With [superpages] (default [false]) the stream segment
+    is opted into 2 MB mappings and fills arrive as whole aligned run
+    grants — one fault and one [MigratePages] per [s_run] pages instead
+    of one per page — and the eviction splits a promoted region. Both
+    legs stream identical page counts, so the fault-count ratio is the
+    superpage win the perf record reports. *)

@@ -174,6 +174,39 @@ let test_phys_owner_tag () =
   check_int "histogram covers every frame" 4
     (List.fold_left (fun acc (_, n) -> acc + n) 0 hist)
 
+(* Aligned-run search over the owner tags: the physical backing of one
+   superpage. Alignment is absolute (frame index mod run), mismatches
+   make the scan jump past the offending frame, and a tier restricts the
+   window to that tier's frame interval. *)
+let test_phys_find_aligned_run () =
+  let m = Phys.create ~page_size:4096 ~total_bytes:(32 * 4096) () in
+  for i = 0 to 31 do
+    Phys.set_owner m i 5
+  done;
+  check_bool "first aligned window" true (Phys.find_aligned_run m ~start:0 ~run:8 ~owned_by:5 = Some 0);
+  check_bool "start rounds up to alignment" true
+    (Phys.find_aligned_run m ~start:1 ~run:8 ~owned_by:5 = Some 8);
+  Phys.set_owner m 12 9;
+  check_bool "mismatch skips the window" true
+    (Phys.find_aligned_run m ~start:8 ~run:8 ~owned_by:5 = Some 16);
+  check_bool "no window after the tail" true
+    (Phys.find_aligned_run m ~start:25 ~run:8 ~owned_by:5 = None);
+  check_bool "whole-machine run" true (Phys.find_aligned_run m ~start:0 ~run:32 ~owned_by:5 = None);
+  let tiered =
+    Phys.create_tiered ~page_size:4096
+      ~tiers:[ Phys.dram_tier ~bytes:(8 * 4096); Phys.slow_dram_tier ~bytes:(24 * 4096) ]
+      ()
+  in
+  for i = 0 to 31 do
+    Phys.set_owner tiered i 5
+  done;
+  check_bool "tier 0 window" true
+    (Phys.find_aligned_run ~tier:0 tiered ~start:0 ~run:8 ~owned_by:5 = Some 0);
+  check_bool "tier 0 has no second window" true
+    (Phys.find_aligned_run ~tier:0 tiered ~start:1 ~run:8 ~owned_by:5 = None);
+  check_bool "tier 1 windows are absolute-aligned" true
+    (Phys.find_aligned_run ~tier:1 tiered ~start:0 ~run:8 ~owned_by:5 = Some 8)
+
 (* ------------------------------------------------------------------ *)
 (* Mapping hash                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -306,6 +339,45 @@ let test_pt_update_in_place () =
   | Some (11, p) -> check_bool "updated prot" false p.Pt.writable
   | Some _ | None -> Alcotest.fail "expected updated entry"
 
+(* Superpage entries resolve before the 4 KB probe and translate every
+   base page of their aligned run. *)
+let test_pt_super_basics () =
+  let pt = Pt.create ~slots:16 ~overflow:4 ~super_slots:8 ~super_pages:8 () in
+  Pt.insert_super pt ~space:1 ~svpn:2 ~frame:80 ~prot:prot_rw;
+  check_int "one superpage resident" 1 (Pt.super_resident pt);
+  (match Pt.lookup_sized pt ~space:1 ~vpn:16 with
+  | Some (80, _, Pt.Super) -> ()
+  | _ -> Alcotest.fail "expected super hit at run base");
+  (match Pt.lookup_sized pt ~space:1 ~vpn:23 with
+  | Some (87, _, Pt.Super) -> ()
+  | _ -> Alcotest.fail "expected super hit at run end");
+  check_int "super hits counted" 2 (Pt.super_hits pt);
+  check_int "super hits also count as hits" 2 (Pt.hits pt);
+  check_bool "outside the run misses" true (Pt.lookup pt ~space:1 ~vpn:24 = None);
+  check_bool "other space misses" true (Pt.lookup pt ~space:2 ~vpn:16 = None);
+  (* A super entry shadows any 4 KB entry under it. *)
+  Pt.insert pt ~space:1 ~vpn:17 ~frame:999 ~prot:prot_rw;
+  (match Pt.lookup_sized pt ~space:1 ~vpn:17 with
+  | Some (81, _, Pt.Super) -> ()
+  | _ -> Alcotest.fail "super entry must shadow the 4 KB entry");
+  Pt.remove_super pt ~space:1 ~svpn:2;
+  check_int "removed" 0 (Pt.super_resident pt);
+  (match Pt.lookup_sized pt ~space:1 ~vpn:17 with
+  | Some (999, _, Pt.Base) -> ()
+  | _ -> Alcotest.fail "4 KB entry resurfaces after demotion")
+
+let test_pt_super_collision_and_space () =
+  let pt = Pt.create ~slots:16 ~super_slots:1 ~super_pages:8 () in
+  Pt.insert_super pt ~space:1 ~svpn:0 ~frame:0 ~prot:prot_rw;
+  Pt.insert_super pt ~space:1 ~svpn:1 ~frame:8 ~prot:prot_rw;
+  check_int "collision displaces" 1 (Pt.super_resident pt);
+  check_int "collision counted" 1 (Pt.super_collisions pt);
+  check_bool "displaced run misses" true (Pt.lookup pt ~space:1 ~vpn:0 = None);
+  check_bool "winner serves" true (Pt.lookup pt ~space:1 ~vpn:8 = Some (8, prot_rw));
+  Pt.remove_space pt ~space:1;
+  check_int "space teardown clears supers" 0 (Pt.super_resident pt);
+  check_bool "gone after teardown" true (Pt.lookup pt ~space:1 ~vpn:8 = None)
+
 (* ------------------------------------------------------------------ *)
 (* TLB                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -334,6 +406,29 @@ let test_tlb_hit_rate () =
   ignore (Tlb.lookup tlb ~space:1 ~vpn:1);
   ignore (Tlb.lookup tlb ~space:1 ~vpn:9999);
   check_float "50%" 0.5 (Tlb.hit_rate tlb)
+
+let test_tlb_super () =
+  let tlb = Tlb.create ~entries:4 ~super_entries:2 ~super_pages:8 () in
+  Tlb.fill_super tlb ~space:1 ~svpn:1 ~frame:40;
+  check_bool "covers the run base" true (Tlb.lookup tlb ~space:1 ~vpn:8 = Some 40);
+  (match Tlb.lookup_sized tlb ~space:1 ~vpn:15 with
+  | Some (47, true) -> ()
+  | _ -> Alcotest.fail "expected super-resolved hit at run end");
+  check_int "super hits counted" 2 (Tlb.super_hits tlb);
+  check_bool "outside the run misses" true (Tlb.lookup tlb ~space:1 ~vpn:16 = None);
+  (* Base fills still work alongside and are reported as base hits. *)
+  Tlb.fill tlb ~space:1 ~vpn:16 ~frame:99;
+  (match Tlb.lookup_sized tlb ~space:1 ~vpn:16 with
+  | Some (99, false) -> ()
+  | _ -> Alcotest.fail "expected base hit");
+  Tlb.invalidate_super tlb ~space:1 ~svpn:1;
+  check_bool "invalidated" true (Tlb.lookup tlb ~space:1 ~vpn:8 = None);
+  Tlb.fill_super tlb ~space:1 ~svpn:1 ~frame:40;
+  Tlb.invalidate_space tlb ~space:1;
+  check_bool "space invalidation clears supers" true (Tlb.lookup tlb ~space:1 ~vpn:8 = None);
+  Tlb.fill_super tlb ~space:1 ~svpn:1 ~frame:40;
+  Tlb.flush tlb;
+  check_bool "flush clears supers" true (Tlb.lookup tlb ~space:1 ~vpn:8 = None)
 
 (* ------------------------------------------------------------------ *)
 (* Disk                                                               *)
@@ -432,6 +527,176 @@ let prop_pt_lookup_after_insert =
       Pt.insert pt ~space ~vpn ~frame:7 ~prot:prot_rw;
       match Pt.lookup pt ~space ~vpn with Some (7, _) -> true | _ -> false)
 
+(* With a single direct-mapped slot every insert collides, so the table
+   holds the newest k+1 entries (slot + overflow) and a full overflow
+   discards its oldest entry — a cache, never a store. *)
+let prop_pt_overflow_oldest_discarded =
+  QCheck.Test.make ~name:"mapping hash: full overflow discards the oldest entry" ~count:200
+    QCheck.(pair (int_range 1 6) (int_range 1 20))
+    (fun (k, n) ->
+      let pt = Pt.create ~slots:1 ~overflow:k () in
+      for vpn = 1 to n do
+        Pt.insert pt ~space:7 ~vpn ~frame:(100 + vpn) ~prot:prot_rw
+      done;
+      let live = min n (k + 1) in
+      let ok = ref (Pt.resident pt = live) in
+      for vpn = 1 to n do
+        let expect = if vpn > n - live then Some (100 + vpn) else None in
+        let got = Option.map fst (Pt.lookup pt ~space:7 ~vpn) in
+        if got <> expect then ok := false
+      done;
+      !ok)
+
+(* Differential model of the base mapping hash: same geometry and hash,
+   naive reference code. Random insert/remove/remove_space/lookup churn
+   must leave both with identical contents and identical hit/miss/
+   collision/resident statistics. *)
+module Pt_model = struct
+  type entry = { m_space : int; m_vpn : int; m_frame : int }
+
+  type t = {
+    slots : entry option array;
+    overflow : entry option array;
+    mutable next : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable collisions : int;
+  }
+
+  let create ~slots ~overflow =
+    {
+      slots = Array.make slots None;
+      overflow = Array.make overflow None;
+      next = 0;
+      hits = 0;
+      misses = 0;
+      collisions = 0;
+    }
+
+  let slot_of t ~space ~vpn =
+    abs ((space * 0x9E3779B1) lxor (vpn * 0x85EBCA77)) mod Array.length t.slots
+
+  let matches e ~space ~vpn = e.m_space = space && e.m_vpn = vpn
+
+  let overflow_insert t e =
+    let n = Array.length t.overflow in
+    if n > 0 then begin
+      let empty = ref (-1) in
+      for i = n - 1 downto 0 do
+        if t.overflow.(i) = None then empty := i
+      done;
+      let i = if !empty >= 0 then !empty else t.next in
+      if !empty < 0 then t.next <- (t.next + 1) mod n;
+      t.overflow.(i) <- Some e
+    end
+
+  let overflow_drop t ~space ~vpn =
+    Array.iteri
+      (fun j o ->
+        match o with Some e when matches e ~space ~vpn -> t.overflow.(j) <- None | _ -> ())
+      t.overflow
+
+  let insert t ~space ~vpn ~frame =
+    let i = slot_of t ~space ~vpn in
+    (match t.slots.(i) with
+    | Some old when not (matches old ~space ~vpn) ->
+        t.collisions <- t.collisions + 1;
+        overflow_insert t old
+    | Some _ | None -> ());
+    overflow_drop t ~space ~vpn;
+    t.slots.(i) <- Some { m_space = space; m_vpn = vpn; m_frame = frame }
+
+  let remove t ~space ~vpn =
+    let i = slot_of t ~space ~vpn in
+    (match t.slots.(i) with
+    | Some e when matches e ~space ~vpn -> t.slots.(i) <- None
+    | Some _ | None -> ());
+    overflow_drop t ~space ~vpn
+
+  let remove_space t ~space =
+    let drop arr =
+      Array.iteri
+        (fun i o -> match o with Some e when e.m_space = space -> arr.(i) <- None | _ -> ())
+        arr
+    in
+    drop t.slots;
+    drop t.overflow
+
+  let lookup t ~space ~vpn =
+    let i = slot_of t ~space ~vpn in
+    let found =
+      match t.slots.(i) with
+      | Some e when matches e ~space ~vpn -> Some e.m_frame
+      | _ ->
+          Array.fold_left
+            (fun acc o ->
+              match (acc, o) with
+              | None, Some e when matches e ~space ~vpn -> Some e.m_frame
+              | _ -> acc)
+            None t.overflow
+    in
+    (match found with None -> t.misses <- t.misses + 1 | Some _ -> t.hits <- t.hits + 1);
+    found
+
+  let resident t =
+    let count = Array.fold_left (fun acc o -> if o = None then acc else acc + 1) 0 in
+    count t.slots + count t.overflow
+end
+
+type pt_op =
+  | P_insert of int * int * int
+  | P_remove of int * int
+  | P_remove_space of int
+  | P_lookup of int * int
+
+let pt_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map3 (fun s v f -> P_insert (s, v, f)) (int_bound 2) (int_bound 11) (int_bound 99));
+        (3, map (fun (s, v) -> P_lookup (s, v)) (pair (int_bound 2) (int_bound 11)));
+        (2, map (fun (s, v) -> P_remove (s, v)) (pair (int_bound 2) (int_bound 11)));
+        (1, map (fun s -> P_remove_space s) (int_bound 2));
+      ])
+
+let prop_pt_stats_match_model =
+  QCheck.Test.make ~name:"mapping hash: churn matches the reference model (contents and stats)"
+    ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 120) pt_op_gen))
+    (fun ops ->
+      let pt = Pt.create ~slots:4 ~overflow:2 () in
+      let m = Pt_model.create ~slots:4 ~overflow:2 in
+      List.iter
+        (fun op ->
+          match op with
+          | P_insert (space, vpn, frame) ->
+              Pt.insert pt ~space ~vpn ~frame ~prot:prot_rw;
+              Pt_model.insert m ~space ~vpn ~frame
+          | P_remove (space, vpn) ->
+              Pt.remove pt ~space ~vpn;
+              Pt_model.remove m ~space ~vpn
+          | P_remove_space space ->
+              Pt.remove_space pt ~space;
+              Pt_model.remove_space m ~space
+          | P_lookup (space, vpn) ->
+              ignore (Pt.lookup pt ~space ~vpn);
+              ignore (Pt_model.lookup m ~space ~vpn))
+        ops;
+      (* Final sweep of the whole key universe: identical contents (the
+         sweep itself advances both stat sets in lockstep). *)
+      let contents_ok = ref true in
+      for space = 0 to 2 do
+        for vpn = 0 to 11 do
+          let got = Option.map fst (Pt.lookup pt ~space ~vpn) in
+          if got <> Pt_model.lookup m ~space ~vpn then contents_ok := false
+        done
+      done;
+      !contents_ok
+      && Pt.hits pt = m.Pt_model.hits
+      && Pt.misses pt = m.Pt_model.misses
+      && Pt.collisions pt = m.Pt_model.collisions
+      && Pt.resident pt = Pt_model.resident m)
+
 let prop_cache_sequential_second_pass_hits =
   QCheck.Test.make ~name:"cache: a working set within capacity hits on the second sweep"
     ~count:50
@@ -450,7 +715,12 @@ let prop_cache_sequential_second_pass_hits =
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_pt_lookup_after_insert; prop_cache_sequential_second_pass_hits ]
+    [
+      prop_pt_lookup_after_insert;
+      prop_pt_overflow_oldest_discarded;
+      prop_pt_stats_match_model;
+      prop_cache_sequential_second_pass_hits;
+    ]
 
 let () =
   Alcotest.run "hw"
@@ -470,6 +740,7 @@ let () =
           Alcotest.test_case "tiered layout" `Quick test_phys_tiered_layout;
           Alcotest.test_case "tier-scoped queries" `Quick test_phys_tier_scoped_queries;
           Alcotest.test_case "owner tag" `Quick test_phys_owner_tag;
+          Alcotest.test_case "find aligned run" `Quick test_phys_find_aligned_run;
         ] );
       ( "page-table",
         [
@@ -481,12 +752,16 @@ let () =
           Alcotest.test_case "update in place" `Quick test_pt_update_in_place;
           Alcotest.test_case "overflow churn vs model" `Quick test_pt_overflow_churn_matches_model;
           Alcotest.test_case "sized to machine memory" `Quick test_machine_pt_sized_to_memory;
+          Alcotest.test_case "super basics" `Quick test_pt_super_basics;
+          Alcotest.test_case "super collision + teardown" `Quick
+            test_pt_super_collision_and_space;
         ] );
       ( "tlb",
         [
           Alcotest.test_case "basics" `Quick test_tlb_basics;
           Alcotest.test_case "space invalidation" `Quick test_tlb_space_invalidation;
           Alcotest.test_case "hit rate" `Quick test_tlb_hit_rate;
+          Alcotest.test_case "superpage entries" `Quick test_tlb_super;
         ] );
       ( "disk",
         [

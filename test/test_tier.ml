@@ -64,7 +64,7 @@ let test_tiered_audit_matches_scan () =
     T.create kernel ~fast_pool_capacity:4 ~slow_pool_capacity:4 ~refill_batch:4 ~reclaim_batch:2
       ()
   in
-  let seg = T.create_segment mgr ~name:"churn" ~pages:40 in
+  let seg = T.create_segment mgr ~name:"churn" ~pages:40 () in
   Engine.spawn machine.Hw_machine.engine (fun () ->
       for round = 0 to 3 do
         for i = 0 to 39 do
@@ -93,7 +93,7 @@ let test_tiered_audit_matches_scan () =
 let test_tiered_audit_after_destroy () =
   let machine, kernel = tiered_kernel ~fast:8 ~slow:8 in
   let mgr = T.create kernel ~fast_pool_capacity:2 ~slow_pool_capacity:2 () in
-  let seg = T.create_segment mgr ~name:"doomed" ~pages:12 in
+  let seg = T.create_segment mgr ~name:"doomed" ~pages:12 () in
   Engine.spawn machine.Hw_machine.engine (fun () ->
       for p = 0 to 11 do
         K.touch kernel ~space:seg ~page:p ~access:Mgr.Write
@@ -118,7 +118,7 @@ let test_compressed_round_trip () =
     T.create kernel ~fast_pool_capacity:2 ~slow_pool_capacity:2 ~refill_batch:4 ~reclaim_batch:2
       ()
   in
-  let seg = T.create_segment mgr ~name:"cascade" ~pages in
+  let seg = T.create_segment mgr ~name:"cascade" ~pages () in
   let payload p = Data.of_string (Printf.sprintf "tier-page-%d" p) in
   let intact = ref true in
   Engine.spawn machine.Hw_machine.engine (fun () ->
@@ -236,7 +236,7 @@ let prop_churn_preserves_contents_and_ownership =
         T.create kernel ~fast_pool_capacity:3 ~slow_pool_capacity:3 ~refill_batch:3
           ~reclaim_batch:2 ()
       in
-      let seg = T.create_segment mgr ~name:"prop" ~pages in
+      let seg = T.create_segment mgr ~name:"prop" ~pages () in
       let rng = Sim_rng.create (Int64.of_int (seed + 1)) in
       let payload p step = Data.of_string (Printf.sprintf "p%d-s%d" p step) in
       let written = Array.init pages (fun p -> payload p (-1)) in
