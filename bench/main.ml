@@ -108,7 +108,16 @@ let reproduce () =
   let oc = open_out "BENCH_tier.json" in
   output_string oc (Exp_tier.render_json tier);
   close_out oc;
-  print_endline "(machine-readable record written to BENCH_tier.json)"
+  print_endline "(machine-readable record written to BENCH_tier.json)";
+  line ();
+  print_endline "Cache: frame placement vs a physically-indexed L2";
+  line ();
+  let cache = Exp_cache.run ~jobs () in
+  print_string (Exp_cache.render cache);
+  let oc = open_out "BENCH_cache.json" in
+  output_string oc (Exp_cache.render_json cache);
+  close_out oc;
+  print_endline "(machine-readable record written to BENCH_cache.json)"
 
 (* One Test.make per table/figure. Table 4 runs in its quick (60 s
    simulated) configuration here so a Bechamel sample stays subsecond. *)
@@ -126,6 +135,8 @@ let tests =
         (Staged.stage (fun () -> ignore (Exp_market.run ~quick:true ())));
       Test.make ~name:"tier.placement"
         (Staged.stage (fun () -> ignore (Exp_tier.run ~quick:true ())));
+      Test.make ~name:"cache.coloring"
+        (Staged.stage (fun () -> ignore (Exp_cache.run ~quick:true ())));
     ]
 
 let benchmark () =

@@ -59,18 +59,9 @@ let run_perf quick json jobs out () =
   end;
   if not (Exp_report.all_pass r.Exp_scale.checks) then exit 1
 
-(* One validator per record schema; the [validate] command dispatches on
-   the record's own "schema" tag, so callers need not know which command
-   produced a file. *)
-let validators =
-  [
-    (Exp_scale.schema_version, Exp_scale.validate_json);
-    (Exp_scale.schema_version_v1, Exp_scale.validate_json_v1);
-    (Exp_market.schema_version, Exp_market.validate_json);
-    (Exp_profile.schema_version, Exp_profile.validate_json);
-    (Exp_tier.schema_version, Exp_tier.validate_json);
-  ]
-
+(* Schema dispatch lives in Exp_validate (one validator per record
+   schema, keyed by the record's own "schema" tag); this is just the
+   file-and-exit-status shell around it. *)
 let run_validate file () =
   let contents =
     try In_channel.with_open_text file In_channel.input_all
@@ -78,27 +69,11 @@ let run_validate file () =
       Printf.eprintf "%s\n" e;
       exit 1
   in
-  let known () = String.concat ", " (List.map fst validators) in
-  match Sim_json.parse contents with
+  match Exp_validate.validate_string contents with
+  | Ok tag -> Printf.printf "%s: valid %s record\n" file tag
   | Error e ->
-      Printf.eprintf "%s: JSON parse error: %s\n" file e;
+      Printf.eprintf "%s: %s\n" file e;
       exit 1
-  | Ok json -> (
-      match Option.bind (Sim_json.member "schema" json) Sim_json.to_str with
-      | None ->
-          Printf.eprintf "%s: record has no \"schema\" tag (known schemas: %s)\n" file (known ());
-          exit 1
-      | Some tag -> (
-          match List.assoc_opt tag validators with
-          | None ->
-              Printf.eprintf "%s: unknown schema %S (known schemas: %s)\n" file tag (known ());
-              exit 1
-          | Some validate -> (
-              match validate json with
-              | Ok () -> Printf.printf "%s: valid %s record\n" file tag
-              | Error e ->
-                  Printf.eprintf "%s: invalid %s record: %s\n" file tag e;
-                  exit 1)))
 
 let run_market quick json jobs out () =
   let r = Exp_market.run ~quick ?jobs () in
@@ -125,6 +100,19 @@ let run_tier quick json jobs out () =
     Printf.printf "(machine-readable record written to %s)\n" out
   end;
   if not (Exp_report.all_pass r.Exp_tier.checks) then exit 1
+
+let run_cache quick json jobs out () =
+  let r = Exp_cache.run ~quick ~jobs () in
+  let record = Exp_cache.render_json r in
+  let oc = open_out out in
+  output_string oc record;
+  close_out oc;
+  if json then print_string record
+  else begin
+    print_string (Exp_cache.render r);
+    Printf.printf "(machine-readable record written to %s)\n" out
+  end;
+  if not (Exp_report.all_pass r.Exp_cache.checks) then exit 1
 
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Shorten the Table 4 simulation (60s instead of 300s).")
@@ -173,6 +161,11 @@ let tier_out_opt =
     value & opt string "BENCH_tier.json"
     & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the vpp-tier/1 record.")
 
+let cache_out_opt =
+  Arg.(
+    value & opt string "BENCH_cache.json"
+    & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the vpp-cache/1 record.")
+
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Record to validate.")
 
@@ -214,9 +207,13 @@ let () =
         "Single-tier vs tiered frame placement: a tier-oblivious pager against Mgr_tiered's \
          hot/cold migration on the same traces (the vpp-tier/1 record; not a paper table)"
         Term.(const run_tier $ quick_flag $ json_flag $ jobs_opt $ tier_out_opt $ const ());
+      cmd "cache"
+        "Frame placement vs a physically-indexed cache: the same trace under sequential, random \
+         and page-colored placement (the vpp-cache/1 record; not a paper table)"
+        Term.(const run_cache $ quick_flag $ json_flag $ jobs_opt $ cache_out_opt $ const ());
       cmd "validate"
         "Validate any versioned record (vpp-perf/2, vpp-perf/1, vpp-market/1, vpp-profile/1, \
-         vpp-tier/1), dispatching on its embedded schema tag"
+         vpp-tier/1, vpp-cache/1), dispatching on its embedded schema tag"
         Term.(const run_validate $ file_arg $ const ());
       cmd "all" "Every table and figure" Term.(const run_all $ quick_flag $ jobs_opt $ const ());
     ]

@@ -131,6 +131,37 @@ let fresh_stats () =
 let charge ?label t us = Machine.charge ?label t.machine us
 let cost t = t.machine.Machine.cost
 
+(* Physically-indexed cache passes. Guarded on the machine's cache count
+   — one integer compare on machines built without [?cache], the same
+   discipline as the tier and superpage guards — so a cache-less machine
+   is bit-identical to the pre-cache model. Each reference goes to the
+   cache of the frame's tier (a node-local L2). *)
+
+(* One data reference: the line at the frame's base address. *)
+let cache_touch t frame_idx =
+  let caches = t.machine.Machine.caches in
+  if Array.length caches > 0 then begin
+    let mem = t.machine.Machine.mem in
+    let cache = caches.(Phys.tier_of_frame mem frame_idx) in
+    if not (Hw_cache.access cache ~phys_addr:(Phys.frame mem frame_idx).Phys.addr) then
+      charge ~label:"kernel/cache_miss" t (cost t).Hw_cost.cache_miss_penalty
+  end
+
+(* A whole-page data transfer (UIO copy): sweep every line. *)
+let cache_sweep t frame_idx =
+  let caches = t.machine.Machine.caches in
+  if Array.length caches > 0 then begin
+    let mem = t.machine.Machine.mem in
+    let cache = caches.(Phys.tier_of_frame mem frame_idx) in
+    let before = Hw_cache.misses cache in
+    Hw_cache.touch_page cache ~phys_addr:(Phys.frame mem frame_idx).Phys.addr
+      ~page_bytes:(Phys.page_size mem);
+    let missed = Hw_cache.misses cache - before in
+    if missed > 0 then
+      charge ~label:"kernel/cache_miss" t
+        (float_of_int missed *. (cost t).Hw_cost.cache_miss_penalty)
+  end
+
 (* Every segment's per-tier resident counters follow the machine's real
    tier layout. *)
 let make_segment machine ~sid ~name ~page_size ~pages =
@@ -805,7 +836,10 @@ let touch t ~space ~page ~access =
       let mem = t.machine.Machine.mem in
       if Phys.n_tiers mem > 1 then
         charge ~label:"kernel/tier_access" t
-          (Phys.tier_access_us mem (Phys.tier_of_frame mem frame))
+          (Phys.tier_access_us mem (Phys.tier_of_frame mem frame));
+      (* The reference itself goes through the physically-indexed cache
+         (when one is attached) regardless of how translation resolved. *)
+      cache_touch t frame
   | Some _ | None ->
       (* Mapping-hash miss (or insufficient protection): walk segments. *)
       let t0 = Machine.now t.machine in
@@ -817,6 +851,8 @@ let touch t ~space ~page ~access =
       if Phys.n_tiers mem > 1 then
         charge ~label:"kernel/tier_access" t
           (Phys.tier_access_us mem (Phys.tier_of_frame mem frame));
+      (* The faulting reference completes against the cache too. *)
+      cache_touch t frame;
       let prot = resolved_prot ~flags ~via_cow in
       (* Superpage install: a direct reference into an opted-in segment
          lands on its 2 MB mapping when the covering region is (or just
@@ -877,6 +913,8 @@ let uio_read t ~seg ~page =
   t.stats.uio_reads <- t.stats.uio_reads + 1;
   t.stats.page_copies <- t.stats.page_copies + 1;
   let frame, slot = uio_page_data t seg page in
+  (* The copy reads every line of the page through the cache. *)
+  cache_sweep t frame.Phys.index;
   slot.Seg.flags <- Flags.union slot.Seg.flags Flags.referenced;
   frame.Phys.data
 
@@ -888,6 +926,8 @@ let uio_write t ~seg ~page data =
   t.stats.uio_writes <- t.stats.uio_writes + 1;
   t.stats.page_copies <- t.stats.page_copies + 1;
   let frame, slot = uio_page_data t seg page in
+  (* The copy writes every line of the page through the cache. *)
+  cache_sweep t frame.Phys.index;
   frame.Phys.data <- data;
   slot.Seg.flags <- Flags.union slot.Seg.flags (Flags.union Flags.dirty Flags.referenced)
 

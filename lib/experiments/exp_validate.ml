@@ -1,0 +1,35 @@
+(* One validator per record schema. The dispatcher reads the record's own
+   "schema" tag, so callers need not know which command produced a file;
+   `vpp_repro validate` is a thin shell around this module, and
+   test_experiments drives every schema (and the error paths) through it
+   directly. *)
+
+let validators =
+  [
+    (Exp_scale.schema_version, Exp_scale.validate_json);
+    (Exp_scale.schema_version_v1, Exp_scale.validate_json_v1);
+    (Exp_market.schema_version, Exp_market.validate_json);
+    (Exp_profile.schema_version, Exp_profile.validate_json);
+    (Exp_tier.schema_version, Exp_tier.validate_json);
+    (Exp_cache.schema_version, Exp_cache.validate_json);
+  ]
+
+let known_schemas = List.map fst validators
+
+let known () = String.concat ", " known_schemas
+
+let validate json =
+  match Option.bind (Sim_json.member "schema" json) Sim_json.to_str with
+  | None -> Error (Printf.sprintf "record has no \"schema\" tag (known schemas: %s)" (known ()))
+  | Some tag -> (
+      match List.assoc_opt tag validators with
+      | None -> Error (Printf.sprintf "unknown schema %S (known schemas: %s)" tag (known ()))
+      | Some validate -> (
+          match validate json with
+          | Ok () -> Ok tag
+          | Error e -> Error (Printf.sprintf "invalid %s record: %s" tag e)))
+
+let validate_string contents =
+  match Sim_json.parse contents with
+  | Error e -> Error (Printf.sprintf "JSON parse error: %s" e)
+  | Ok json -> validate json

@@ -2,6 +2,7 @@ type t = {
   line_bytes : int;
   sets : int;
   tags : int array;  (* -1 = invalid *)
+  mutable accesses : int;
   mutable hits : int;
   mutable misses : int;
 }
@@ -9,25 +10,32 @@ type t = {
 let create ?(line_bytes = 64) ~size_bytes () =
   if line_bytes <= 0 || size_bytes < line_bytes then invalid_arg "Hw_cache.create";
   let sets = size_bytes / line_bytes in
-  { line_bytes; sets; tags = Array.make sets (-1); hits = 0; misses = 0 }
+  { line_bytes; sets; tags = Array.make sets (-1); accesses = 0; hits = 0; misses = 0 }
 
 let sets t = t.sets
+let line_bytes t = t.line_bytes
 
 let access t ~phys_addr =
   let line = phys_addr / t.line_bytes in
   let set = line mod t.sets in
-  if t.tags.(set) = line then t.hits <- t.hits + 1
+  t.accesses <- t.accesses + 1;
+  if t.tags.(set) = line then begin
+    t.hits <- t.hits + 1;
+    true
+  end
   else begin
     t.misses <- t.misses + 1;
-    t.tags.(set) <- line
+    t.tags.(set) <- line;
+    false
   end
 
 let touch_page t ~phys_addr ~page_bytes =
   let lines = page_bytes / t.line_bytes in
   for i = 0 to lines - 1 do
-    access t ~phys_addr:(phys_addr + (i * t.line_bytes))
+    ignore (access t ~phys_addr:(phys_addr + (i * t.line_bytes)))
   done
 
+let accesses t = t.accesses
 let hits t = t.hits
 let misses t = t.misses
 
@@ -36,6 +44,7 @@ let miss_rate t =
   if total = 0 then 0.0 else float_of_int t.misses /. float_of_int total
 
 let reset_stats t =
+  t.accesses <- 0;
   t.hits <- 0;
   t.misses <- 0
 

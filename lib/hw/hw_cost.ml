@@ -37,6 +37,7 @@ type t = {
   pte_update_super : float;
   superpage_promote : float;
   superpage_demote : float;
+  cache_miss_penalty : float;
   mips : float;
 }
 
@@ -80,6 +81,7 @@ let decstation_5000_200 =
     pte_update_super = 4.0;
     superpage_promote = 30.0;
     superpage_demote = 20.0;
+    cache_miss_penalty = 0.5;
     mips = 25.0;
   }
 

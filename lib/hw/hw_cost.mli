@@ -91,6 +91,12 @@ type t = {
   superpage_demote : float;
       (** Split one superpage back to 4 KB granularity (the demoted
           pages rebuild their 4 KB entries lazily via segment walks). *)
+  (* physically-indexed cache (attached via [Hw_machine.create ?cache]) *)
+  cache_miss_penalty : float;
+      (** Extra charged per cache-line miss when a machine carries a
+          cache model (label ["kernel/cache_miss"]). Machines built
+          without [?cache] never consult the model and charge none of
+          this, so the Table 1 identities above are untouched. *)
   (* compute *)
   mips : float;  (** Instructions per microsecond of one CPU. *)
 }

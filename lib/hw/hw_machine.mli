@@ -3,6 +3,12 @@
 
 type preset = Decstation_5000_200 | Sgi_4d_380
 
+type cache_spec = { c_size_bytes : int; c_line_bytes : int }
+(** Geometry of the optional physically-indexed L2 attached at {!create}. *)
+
+val l2_cache : ?line_bytes:int -> size_bytes:int -> unit -> cache_spec
+(** Default 64-byte lines, matching {!Hw_cache.create}. *)
+
 type t = {
   engine : Sim_engine.t;
   mem : Hw_phys_mem.t;
@@ -13,6 +19,12 @@ type t = {
   trace : Sim_trace.t;
   metrics : Sim_metrics.t;
   super_pages : int;
+  caches : Hw_cache.t array;
+      (** One physically-indexed L2 per memory tier (a node-local cache),
+          all of the [cache_spec] geometry; empty when the machine was
+          built without [?cache]. Every kernel cache pass is guarded on
+          [Array.length caches > 0], so a cache-less machine is
+          bit-identical to the pre-cache model. *)
 }
 
 val create :
@@ -24,6 +36,7 @@ val create :
   ?super_pages:int ->
   ?trace:bool ->
   ?disk_params:Hw_disk.params ->
+  ?cache:cache_spec ->
   unit ->
   t
 (** Defaults: DECstation preset, 16 MB memory (large enough for the unit
@@ -36,13 +49,27 @@ val create :
     of base pages per superpage (default 512, i.e. 2 MB of 4 KB pages),
     sizing the page table's and TLB's superpage areas; machines that
     never promote a superpage behave byte-identically regardless of its
-    value. *)
+    value. [cache] attaches one {!Hw_cache} per memory tier; kernel
+    touch and UIO paths then feed physical addresses through it and
+    charge {!Hw_cost.t.cache_miss_penalty} per miss — without it no
+    cache state exists and nothing extra is charged. *)
 
 val page_size : t -> int
 val n_frames : t -> int
 
 val super_pages : t -> int
 (** Base pages per superpage mapping ([super_pages] at {!create}). *)
+
+val n_caches : t -> int
+(** [Array.length caches]: 0 exactly when no cache model is attached. *)
+
+val cache_colors : t -> int option
+(** Page colors the attached cache geometry induces at this machine's
+    page size ({!Hw_cache.n_colors}); [None] without a cache. The live
+    geometry {!Mgr_coloring} sizes its placement policy against. *)
+
+val cache_stats : t -> int * int * int
+(** [(accesses, hits, misses)] summed over the per-tier caches. *)
 
 val charge : ?label:string -> t -> float -> unit
 (** Advance the calling process by a cost-model amount (clamped at 0).

@@ -2,6 +2,7 @@ module K = Epcm_kernel
 module Seg = Epcm_segment
 module Mgr = Epcm_manager
 module Flags = Epcm_flags
+module Phys = Hw_phys_mem
 
 type colored_source =
   color:int option -> dst:Epcm_segment.id -> dst_page:int -> count:int -> int
@@ -10,6 +11,7 @@ type t = {
   kern : K.t;
   mutable mid : Mgr.id;
   n_colors : int;
+  tier : int option;
   pool_seg : Seg.id;
   pool_capacity : int;
   (* free pool slots holding a frame, keyed by frame color *)
@@ -21,10 +23,43 @@ type t = {
 
 let manager_id t = t.mid
 
+(* A frame's placement color. Against an attached cache this is the live
+   geometry — the set group the frame's physical address actually maps to
+   in the cache of its tier ([Hw_cache.color_of]) — so the policy stays
+   faithful if the cache's color count ever diverges from the [n_colors]
+   the physical memory was built with. Without a cache it falls back to
+   the static [Hw_phys_mem] color tag, as before. *)
 let frame_color t frame =
-  (Hw_phys_mem.frame (K.machine t.kern).Hw_machine.mem frame).Hw_phys_mem.color mod t.n_colors
+  let machine = K.machine t.kern in
+  let fr = Phys.frame machine.Hw_machine.mem frame in
+  let c =
+    if Array.length machine.Hw_machine.caches = 0 then fr.Phys.color
+    else
+      Hw_cache.color_of
+        machine.Hw_machine.caches.(fr.Phys.tier)
+        ~phys_addr:fr.Phys.addr
+        ~page_bytes:(Hw_machine.page_size machine)
+  in
+  c mod t.n_colors
 
 let color_of_frame t ~frame = frame_color t frame
+
+(* Placement probe: does the system still hold a free (initial-segment)
+   frame of [color], within this manager's tier when it is tier-scoped?
+   Served from the physical memory's per-color index
+   ([Phys.frames_of_color ?tier]) plus the owner tags, so a futile
+   refill round-trip to the source is skipped when the answer is no.
+   Only exact when the manager's color space matches the one the frame
+   index is keyed by; otherwise we conservatively answer yes. *)
+let color_available t ~color =
+  let machine = K.machine t.kern in
+  let mem = machine.Hw_machine.mem in
+  if t.n_colors <> Phys.n_colors mem then true
+  else
+    let init = K.initial_segment t.kern in
+    List.exists
+      (fun f -> Phys.owner mem f = init)
+      (Phys.frames_of_color ?tier:t.tier mem color)
 
 (* Pull [count] frames (preferring [color]) from the SPCM into free pool
    slots and index them by their actual color. *)
@@ -68,7 +103,11 @@ let take_colored t ~color ~dst ~dst_page =
   match try_color color with
   | Some () -> true
   | None ->
-      if refill t ~color:(Some color) ~count:1 > 0 && try_color color <> None then true
+      if
+        color_available t ~color
+        && refill t ~color:(Some color) ~count:1 > 0
+        && try_color color <> None
+      then true
       else begin
         (* No frame of the right color anywhere: the SPCM treats this like
            an oversized request and we take what we can get (paper §2.4). *)
@@ -94,14 +133,30 @@ let on_fault t (fault : Mgr.fault) =
         ~clear_flags:(Flags.of_list [ Flags.no_access; Flags.read_only ])
         ()
 
-let create kern ~n_colors ~source ~pool_capacity () =
+let create kern ?n_colors ?tier ~source ~pool_capacity () =
+  let machine = K.machine kern in
+  (* Default the color count from the live cache geometry when a cache is
+     attached, else from the physical memory's static color pattern. *)
+  let n_colors =
+    match n_colors with
+    | Some n -> n
+    | None -> (
+        match Hw_machine.cache_colors machine with
+        | Some n -> n
+        | None -> Phys.n_colors machine.Hw_machine.mem)
+  in
   if n_colors <= 0 then invalid_arg "Mgr_coloring.create: n_colors must be positive";
+  (match tier with
+  | Some k when k < 0 || k >= Phys.n_tiers machine.Hw_machine.mem ->
+      invalid_arg "Mgr_coloring.create: tier out of range"
+  | _ -> ());
   let pool_seg = K.create_segment kern ~name:"coloring.free-pages" ~pages:pool_capacity () in
   let t =
     {
       kern;
       mid = -1;
       n_colors;
+      tier;
       pool_seg;
       pool_capacity;
       slots_by_color = Array.make n_colors [];
@@ -115,6 +170,8 @@ let create kern ~n_colors ~source ~pool_capacity () =
       ~on_fault:(fun f -> on_fault t f)
       ();
   t
+
+let n_colors t = t.n_colors
 
 let create_segment t ~name ~pages =
   let seg = K.create_segment t.kern ~name ~pages () in

@@ -8,6 +8,17 @@
     color-constrained allocation ([GetPageAttributes] exposes physical
     addresses, so the manager can verify what it got).
 
+    The placement policy runs against the {e live} cache geometry: on a
+    machine carrying a cache model ({!Hw_machine.create} [?cache]), a
+    frame's color is the set group its physical address actually maps to
+    ({!Hw_cache.color_of} in the cache of the frame's tier) and
+    [n_colors] defaults to {!Hw_machine.cache_colors}; without a cache it
+    falls back to the static {!Hw_phys_mem} color tag. Before asking the
+    source for a specific color, the manager probes availability through
+    the per-color frame index ({!Hw_phys_mem.frames_of_color}, scoped by
+    [?tier] when the manager is tier-bound), so a color the system has
+    run out of degrades to best-effort without a futile round-trip.
+
     Unlike {!Mgr_free_pages}, the pool here is slot-addressed, not
     compact: frames of different colors coexist and are picked by
     color. *)
@@ -19,9 +30,23 @@ type colored_source =
 (** Like {!Mgr_generic.source} with an optional color constraint. *)
 
 val create :
-  Epcm_kernel.t -> n_colors:int -> source:colored_source -> pool_capacity:int -> unit -> t
+  Epcm_kernel.t ->
+  ?n_colors:int ->
+  ?tier:int ->
+  source:colored_source ->
+  pool_capacity:int ->
+  unit ->
+  t
+(** [n_colors] defaults to the machine's live cache geometry
+    ({!Hw_machine.cache_colors}) when a cache is attached, else to
+    {!Hw_phys_mem.n_colors}. [tier] scopes the availability probe to one
+    memory tier — a manager placing only fast-tier frames; the source it
+    is given should then grant frames of that tier. *)
 
 val manager_id : t -> Epcm_manager.id
+
+val n_colors : t -> int
+(** The color count the policy is running with (see {!create}). *)
 
 val create_segment : t -> name:string -> pages:int -> Epcm_segment.id
 (** Anonymous segment whose faults are served color-matched. *)

@@ -370,6 +370,133 @@ let test_coloring_traffic_storm () =
   check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine);
   check_conserved machine kernel
 
+(* Coloring under a live cache model *and* injected disk faults: a
+   Mgr_coloring segment and a Mgr_generic file segment churn on the same
+   kernel while the disk storms, with a physically-indexed L2 attached so
+   every touch and UIO sweep feeds the cache. The cache is pure
+   observation — the invariants after the storm are the usual
+   conservation audits (flat and per-tier, incremental = scan) plus the
+   cache's own conservation identity (accesses = hits + misses). *)
+let coloring_cache_storm ~tiered ~seed =
+  let fast = 64 in
+  let machine =
+    if tiered then
+      Machine.create
+        ~tiers:
+          [
+            Hw_phys_mem.dram_tier ~bytes:(fast * 4096);
+            Hw_phys_mem.slow_dram_tier ~bytes:(192 * 4096);
+          ]
+        ~cache:(Machine.l2_cache ~size_bytes:(64 * 1024) ())
+        ()
+    else
+      Machine.create ~memory_bytes:(256 * 4096)
+        ~cache:(Machine.l2_cache ~size_bytes:(64 * 1024) ())
+        ()
+  in
+  let kernel = K.create machine in
+  let init = K.initial_segment kernel in
+  let mem = machine.Machine.mem in
+  (* The coloring manager draws from the front of the initial segment
+     (exactly tier 0 when tiered); the generic manager from the back, so
+     the two never race for the same frames. *)
+  let color_limit = if tiered then fast else 256 in
+  let generic_base = if tiered then fast else 128 in
+  let colored_source ~color ~dst ~dst_page ~count =
+    let init_seg = K.segment kernel init in
+    let granted = ref 0 in
+    let slot = ref 0 in
+    while !granted < count && !slot < color_limit do
+      (match (Seg.page init_seg !slot).Seg.frame with
+      | Some f
+        when (match color with
+             | None -> true
+             | Some c -> (Hw_phys_mem.frame mem f).Hw_phys_mem.color = c) ->
+          K.migrate_pages kernel ~src:init ~dst ~src_page:!slot ~dst_page:(dst_page + !granted)
+            ~count:1 ();
+          incr granted
+      | Some _ | None -> ());
+      incr slot
+    done;
+    !granted
+  in
+  let generic_source ~dst ~dst_page ~count =
+    let init_seg = K.segment kernel init in
+    let granted = ref 0 in
+    let slot = ref generic_base in
+    while !granted < count && !slot < Seg.length init_seg do
+      (if (Seg.page init_seg !slot).Seg.frame <> None then begin
+         K.migrate_pages kernel ~src:init ~dst ~src_page:!slot ~dst_page:(dst_page + !granted)
+           ~count:1 ();
+         incr granted
+       end);
+      incr slot
+    done;
+    !granted
+  in
+  let counters = Counters.create () in
+  let chaos =
+    Chaos.create ~seed
+      {
+        Chaos.default_spec with
+        read_error_p = 0.08;
+        write_error_p = 0.1;
+        delay_p = 0.05;
+        delay_min_us = 100.0;
+        delay_max_us = 1_000.0;
+      }
+  in
+  Hw_disk.set_chaos machine.Machine.disk (Some chaos);
+  let retry = { Mgr_backing.attempts = 3; backoff_us = 300.0 } in
+  let backing = Mgr_backing.disk ~retry ~counters machine.Machine.disk ~page_bytes:4096 in
+  let g =
+    G.create kernel ~name:"cache-storm" ~mode:`In_process ~backing ~source:generic_source
+      ~pool_capacity:32 ~refill_batch:8 ~reclaim_batch:4 ~counters ()
+  in
+  let file_seg =
+    G.create_segment g ~name:"data" ~pages:48 ~kind:(G.File { file_id = 9 }) ~high_water:48 ()
+  in
+  let mgr =
+    Mgr_coloring.create kernel
+      ?tier:(if tiered then Some 0 else None)
+      ~source:colored_source ~pool_capacity:16 ()
+  in
+  let colored_seg = Mgr_coloring.create_segment mgr ~name:"ws" ~pages:32 in
+  let rng = Sim_rng.create seed in
+  let app_failures = ref 0 in
+  Engine.spawn machine.Machine.engine (fun () ->
+      for _ = 1 to 400 do
+        let space, pages =
+          if Sim_rng.bool rng then (colored_seg, 32) else (file_seg, 48)
+        in
+        let page = Sim_rng.int rng pages in
+        let access = if Sim_rng.bool rng then Mgr.Write else Mgr.Read in
+        try K.touch kernel ~space ~page ~access
+        with Mgr_backing.Backing_failed _ -> incr app_failures
+      done);
+  Engine.run machine.Machine.engine;
+  Hw_disk.set_chaos machine.Machine.disk None;
+  (machine, kernel, mgr, colored_seg, chaos)
+
+let check_coloring_cache_storm ~tiered () =
+  let machine, kernel, mgr, colored_seg, chaos = coloring_cache_storm ~tiered ~seed:31L in
+  check_bool "the storm actually stormed" true (Chaos.injected_failures chaos > 0);
+  check_conserved machine kernel;
+  check_bool "per-tier audit = scan audit" true
+    (K.frame_owner_audit_tiered kernel = K.frame_owner_audit_tiered_scan kernel);
+  let accesses, hits, misses = Machine.cache_stats machine in
+  check_int "cache stats conserved (hits + misses = accesses)" accesses (hits + misses);
+  check_bool "the cache saw the storm's traffic" true (accesses > 0);
+  check_bool "some accesses actually missed" true (misses > 0);
+  let good, total = Mgr_coloring.audit mgr ~seg:colored_seg in
+  check_int "every resident page correctly colored" total good;
+  check_bool "the colored segment faulted pages in" true (total > 0);
+  check_int "no color misses with a cooperative SPCM" 0 (Mgr_coloring.color_misses mgr);
+  check_int "no wedged processes" 0 (Engine.live_processes machine.Machine.engine)
+
+let test_coloring_cache_storm_flat () = check_coloring_cache_storm ~tiered:false ()
+let test_coloring_cache_storm_tiered () = check_coloring_cache_storm ~tiered:true ()
+
 (* ------------------------------------------------------------------ *)
 (* Mgr_compressed: spill writes and disk re-fills under a write storm  *)
 (* ------------------------------------------------------------------ *)
@@ -652,8 +779,14 @@ let () =
         [ Alcotest.test_case "durability loss is survivable" `Quick test_checkpoint_durable_loss ]
       );
       ( "coloring manager",
-        [ Alcotest.test_case "traffic storm keeps colors + frames" `Quick
-            test_coloring_traffic_storm ] );
+        [
+          Alcotest.test_case "traffic storm keeps colors + frames" `Quick
+            test_coloring_traffic_storm;
+          Alcotest.test_case "disk-fault storm under a cache (flat)" `Quick
+            test_coloring_cache_storm_flat;
+          Alcotest.test_case "disk-fault storm under a cache (tiered)" `Quick
+            test_coloring_cache_storm_tiered;
+        ] );
       ( "compressed manager",
         [ Alcotest.test_case "spill storm: conservation + recovery" `Quick
             test_compressed_spill_storm ] );

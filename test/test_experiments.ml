@@ -140,6 +140,132 @@ let test_perf_record_validator_rejects () =
   in
   reject "a single remaining scale" (drop_first_scale (Exp_scale.to_json r))
 
+(* ------------------------------------------------------------------ *)
+(* Exp_validate: the unified schema dispatcher                         *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_validate_known_schemas () =
+  List.iter
+    (fun tag ->
+      check_bool (tag ^ " is a known schema") true (List.mem tag Exp_validate.known_schemas))
+    [
+      Exp_scale.schema_version;
+      Exp_scale.schema_version_v1;
+      Exp_market.schema_version;
+      Exp_profile.schema_version;
+      Exp_tier.schema_version;
+      Exp_cache.schema_version;
+    ];
+  Alcotest.(check int) "exactly the six known schemas" 6 (List.length Exp_validate.known_schemas)
+
+(* No command emits vpp-perf/1 anymore; the legacy validator is kept for
+   records written by older builds, so the coverage here is a
+   hand-crafted minimal record of that vintage. *)
+let legacy_perf_v1 =
+  {|{"schema": "vpp-perf/1", "mode": "quick",
+     "scales": [
+       {"name": "8mb", "conserved": true, "events": 70000, "faults": 1344, "wall_s": 0.1},
+       {"name": "512mb", "conserved": true, "events": 4000000, "faults": 86016, "wall_s": 1.5}],
+     "driver": {"parallel_identical": true, "jobs": 2},
+     "checks": [{"what": "per-size conservation", "pass": true}]}|}
+
+(* Every schema the dispatcher knows, dispatched both from the in-memory
+   tree and through the string (parse) entry point. The run-based records
+   come from the quick experiment configurations; the legacy vpp-perf/1
+   from the hand-crafted record above. *)
+let test_validate_dispatches_all_schemas () =
+  let records =
+    [
+      (Exp_scale.schema_version, Exp_scale.render_json (Lazy.force quick_record));
+      (Exp_scale.schema_version_v1, legacy_perf_v1);
+      (Exp_market.schema_version, Exp_market.render_json (Exp_market.run ~quick:true ()));
+      (Exp_profile.schema_version, Exp_profile.render_json (Exp_profile.run ()));
+      (Exp_tier.schema_version, Exp_tier.render_json (Exp_tier.run ~quick:true ()));
+      (Exp_cache.schema_version, Exp_cache.render_json (Exp_cache.run ~quick:true ()));
+    ]
+  in
+  List.iter
+    (fun (expect, record) ->
+      (match Exp_validate.validate_string record with
+      | Ok tag -> Alcotest.(check string) (expect ^ ": dispatched to its validator") expect tag
+      | Error e -> Alcotest.fail (expect ^ ": " ^ e));
+      match Sim_json.parse record with
+      | Error e -> Alcotest.fail (expect ^ ": record does not parse: " ^ e)
+      | Ok json -> (
+          match Exp_validate.validate json with
+          | Ok tag -> Alcotest.(check string) (expect ^ ": tree dispatch") expect tag
+          | Error e -> Alcotest.fail (expect ^ ": " ^ e)))
+    records
+
+let test_validate_rejects () =
+  let reject what ~expect input =
+    match Exp_validate.validate_string input with
+    | Ok tag -> Alcotest.fail ("dispatcher accepted " ^ what ^ " as " ^ tag)
+    | Error e ->
+        check_bool
+          (Printf.sprintf "%s: error mentions %S (got %S)" what expect e)
+          true (contains ~needle:expect e)
+  in
+  reject "JSON syntax garbage" ~expect:"JSON parse error" "{not json";
+  reject "a record with no schema tag" ~expect:"no \"schema\" tag" {|{"mode": "quick"}|};
+  (* Both error paths must name the known schemas so the caller can see
+     what the build actually supports. *)
+  reject "a record with no schema tag" ~expect:Exp_cache.schema_version {|{"mode": "quick"}|};
+  reject "an unknown schema" ~expect:"unknown schema" {|{"schema": "vpp-frobnicate/9"}|};
+  reject "an unknown schema" ~expect:Exp_tier.schema_version {|{"schema": "vpp-frobnicate/9"}|};
+  (* Known schema, malformed body: the dispatcher reaches the schema's own
+     validator and prefixes its complaint with the tag. *)
+  reject "an empty vpp-cache/1 record" ~expect:"invalid vpp-cache/1 record"
+    {|{"schema": "vpp-cache/1"}|};
+  reject "an empty vpp-tier/1 record" ~expect:"invalid vpp-tier/1 record"
+    {|{"schema": "vpp-tier/1"}|};
+  reject "a vpp-perf/1 record with one scale" ~expect:"at least two scales"
+    {|{"schema": "vpp-perf/1", "mode": "quick",
+       "scales": [{"name": "8mb", "conserved": true, "events": 1, "faults": 1, "wall_s": 0}]}|};
+  reject "a vpp-perf/1 record that leaked frames" ~expect:"frame conservation failed"
+    {|{"schema": "vpp-perf/1", "mode": "quick",
+       "scales": [
+         {"name": "8mb", "conserved": false, "events": 1, "faults": 1, "wall_s": 0},
+         {"name": "512mb", "conserved": true, "events": 1, "faults": 1, "wall_s": 0}]}|};
+  (* A failing vpp-cache/1 gate: colored not better than random. *)
+  let r = Exp_cache.run ~quick:true () in
+  let doctored =
+    match Exp_cache.to_json r with
+    | Sim_json.Obj fields ->
+        Sim_json.Obj
+          (List.map
+             (function
+               | "legs", Sim_json.List legs ->
+                   ( "legs",
+                     Sim_json.List
+                       (List.map
+                          (function
+                            | Sim_json.Obj leg ->
+                                Sim_json.Obj
+                                  (List.map
+                                     (function
+                                       | "miss_rate", _ -> ("miss_rate", Sim_json.Num 0.5)
+                                       | kv -> kv)
+                                     leg)
+                            | j -> j)
+                          legs) )
+               | kv -> kv)
+             fields)
+    | j -> j
+  in
+  match Exp_validate.validate doctored with
+  | Ok tag -> Alcotest.fail ("dispatcher accepted a doctored cache record as " ^ tag)
+  | Error e ->
+      check_bool
+        (Printf.sprintf "doctored cache record rejected for the right reason (got %S)" e)
+        true
+        (contains ~needle:"did not beat random" e)
+
 let test_renders_nonempty () =
   check_bool "table1 renders" true (String.length (Exp_table1.render (Exp_table1.run ())) > 100);
   check_bool "figures render" true
@@ -169,5 +295,11 @@ let () =
           Alcotest.test_case "quick record validates" `Slow test_perf_record_quick;
           Alcotest.test_case "validator rejects bad records" `Slow
             test_perf_record_validator_rejects;
+        ] );
+      ( "validate dispatcher",
+        [
+          Alcotest.test_case "knows every schema" `Quick test_validate_known_schemas;
+          Alcotest.test_case "dispatches every schema" `Slow test_validate_dispatches_all_schemas;
+          Alcotest.test_case "rejects malformed and unknown records" `Quick test_validate_rejects;
         ] );
     ]

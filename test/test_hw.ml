@@ -477,19 +477,20 @@ let test_cache_conflicts () =
   let c = Cache.create ~size_bytes:(64 * 1024) () in
   (* Two addresses one cache-size apart collide in a direct-mapped
      cache. *)
-  Cache.access c ~phys_addr:0;
-  Cache.access c ~phys_addr:(64 * 1024);
-  Cache.access c ~phys_addr:0;
+  check_bool "cold miss" false (Cache.access c ~phys_addr:0);
+  check_bool "conflict miss" false (Cache.access c ~phys_addr:(64 * 1024));
+  check_bool "evicted: miss again" false (Cache.access c ~phys_addr:0);
   check_int "all misses" 3 (Cache.misses c);
   (* Two addresses in distinct sets do not (fresh cache: reset_stats keeps
      contents, so reuse would hit on the still-cached line). *)
   let c = Cache.create ~size_bytes:(64 * 1024) () in
-  Cache.access c ~phys_addr:0;
-  Cache.access c ~phys_addr:64;
-  Cache.access c ~phys_addr:0;
-  Cache.access c ~phys_addr:64;
+  ignore (Cache.access c ~phys_addr:0);
+  ignore (Cache.access c ~phys_addr:64);
+  check_bool "warm hit" true (Cache.access c ~phys_addr:0);
+  check_bool "warm hit" true (Cache.access c ~phys_addr:64);
   check_int "two cold misses" 2 (Cache.misses c);
-  check_int "two hits" 2 (Cache.hits c)
+  check_int "two hits" 2 (Cache.hits c);
+  check_int "accesses = hits + misses" (Cache.hits c + Cache.misses c) (Cache.accesses c)
 
 let test_cache_colors () =
   let c = Cache.create ~size_bytes:(64 * 1024) () in
@@ -713,6 +714,105 @@ let prop_cache_sequential_second_pass_hits =
       done;
       Cache.misses c = 0)
 
+(* Differential model of the physically-indexed cache: a pure reference
+   (map of set -> resident line) replayed against access/touch_page/
+   color_of on random address sequences over several geometries. Hit/miss
+   verdicts must agree access-by-access and the accesses/hits/misses/
+   miss_rate counters must match exactly at the end. *)
+module Cache_model = struct
+  type t = {
+    line_bytes : int;
+    sets : int;
+    resident : (int, int) Hashtbl.t;  (* set -> resident line *)
+    mutable accesses : int;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ~line_bytes ~size_bytes =
+    {
+      line_bytes;
+      sets = size_bytes / line_bytes;
+      resident = Hashtbl.create 64;
+      accesses = 0;
+      hits = 0;
+      misses = 0;
+    }
+
+  let access t addr =
+    let line = addr / t.line_bytes in
+    let set = line mod t.sets in
+    t.accesses <- t.accesses + 1;
+    if Hashtbl.find_opt t.resident set = Some line then begin
+      t.hits <- t.hits + 1;
+      true
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      Hashtbl.replace t.resident set line;
+      false
+    end
+
+  let touch_page t addr ~page_bytes =
+    for i = 0 to (page_bytes / t.line_bytes) - 1 do
+      ignore (access t (addr + (i * t.line_bytes)))
+    done
+
+  let miss_rate t =
+    if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses
+
+  let color_of t addr ~page_bytes =
+    addr / page_bytes mod max 1 (t.sets * t.line_bytes / page_bytes)
+end
+
+type cache_op = C_access of int | C_touch_page of int
+
+let cache_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun a -> C_access a) (int_bound 0x7FFFF));
+        (1, map (fun a -> C_touch_page a) (int_bound 0x7FFFF));
+      ])
+
+let cache_geometries = [ (16 * 1024, 64); (64 * 1024, 64); (8 * 1024, 32); (4 * 1024, 128) ]
+
+let prop_cache_matches_model =
+  QCheck.Test.make ~name:"cache: churn matches the reference model (verdicts and stats)"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(pair (oneofl cache_geometries) (list_size (int_range 0 120) cache_op_gen)))
+    (fun ((size_bytes, line_bytes), ops) ->
+      let c = Cache.create ~line_bytes ~size_bytes () in
+      let m = Cache_model.create ~line_bytes ~size_bytes in
+      let verdicts_ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | C_access addr ->
+              if Cache.access c ~phys_addr:addr <> Cache_model.access m addr then
+                verdicts_ok := false
+          | C_touch_page addr ->
+              Cache.touch_page c ~phys_addr:addr ~page_bytes:4096;
+              Cache_model.touch_page m addr ~page_bytes:4096)
+        ops;
+      let colors_ok = ref true in
+      List.iter
+        (fun page_bytes ->
+          for p = 0 to 40 do
+            let addr = p * page_bytes in
+            if
+              Cache.color_of c ~phys_addr:addr ~page_bytes
+              <> Cache_model.color_of m addr ~page_bytes
+            then colors_ok := false
+          done)
+        [ 4096; 8192 ];
+      !verdicts_ok && !colors_ok
+      && Cache.accesses c = m.Cache_model.accesses
+      && Cache.hits c = m.Cache_model.hits
+      && Cache.misses c = m.Cache_model.misses
+      && Cache.miss_rate c = Cache_model.miss_rate m)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -720,6 +820,7 @@ let qcheck_cases =
       prop_pt_overflow_oldest_discarded;
       prop_pt_stats_match_model;
       prop_cache_sequential_second_pass_hits;
+      prop_cache_matches_model;
     ]
 
 let () =
