@@ -117,7 +117,16 @@ let reproduce () =
   let oc = open_out "BENCH_cache.json" in
   output_string oc (Exp_cache.render_json cache);
   close_out oc;
-  print_endline "(machine-readable record written to BENCH_cache.json)"
+  print_endline "(machine-readable record written to BENCH_cache.json)";
+  line ();
+  print_endline "Shard: parallel DBMS shards with two-phase commit";
+  line ();
+  let shard = Exp_shard.run ~jobs () in
+  print_string (Exp_shard.render shard);
+  let oc = open_out "BENCH_shard.json" in
+  output_string oc (Exp_shard.render_json shard);
+  close_out oc;
+  print_endline "(machine-readable record written to BENCH_shard.json)"
 
 (* One Test.make per table/figure. Table 4 runs in its quick (60 s
    simulated) configuration here so a Bechamel sample stays subsecond. *)
@@ -137,6 +146,8 @@ let tests =
         (Staged.stage (fun () -> ignore (Exp_tier.run ~quick:true ())));
       Test.make ~name:"cache.coloring"
         (Staged.stage (fun () -> ignore (Exp_cache.run ~quick:true ())));
+      Test.make ~name:"shard.two-phase"
+        (Staged.stage (fun () -> ignore (Exp_shard.run ~quick:true ())));
     ]
 
 let benchmark () =

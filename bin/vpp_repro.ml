@@ -114,6 +114,19 @@ let run_cache quick json jobs out () =
   end;
   if not (Exp_report.all_pass r.Exp_cache.checks) then exit 1
 
+let run_shard quick json jobs out () =
+  let r = Exp_shard.run ~quick ~jobs () in
+  let record = Exp_shard.render_json r in
+  let oc = open_out out in
+  output_string oc record;
+  close_out oc;
+  if json then print_string record
+  else begin
+    print_string (Exp_shard.render r);
+    Printf.printf "(machine-readable record written to %s)\n" out
+  end;
+  if not (Exp_report.all_pass r.Exp_shard.checks) then exit 1
+
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Shorten the Table 4 simulation (60s instead of 300s).")
 
@@ -166,6 +179,11 @@ let cache_out_opt =
     value & opt string "BENCH_cache.json"
     & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the vpp-cache/1 record.")
 
+let shard_out_opt =
+  Arg.(
+    value & opt string "BENCH_shard.json"
+    & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the vpp-shard/1 record.")
+
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Record to validate.")
 
@@ -211,9 +229,14 @@ let () =
         "Frame placement vs a physically-indexed cache: the same trace under sequential, random \
          and page-colored placement (the vpp-cache/1 record; not a paper table)"
         Term.(const run_cache $ quick_flag $ json_flag $ jobs_opt $ cache_out_opt $ const ());
+      cmd "shard"
+        "Sharded DBMS throughput: the same transactions over 1/4/8 parallel shards with \
+         two-phase commit on the cross-shard fraction (the vpp-shard/1 record; not a paper \
+         table)"
+        Term.(const run_shard $ quick_flag $ json_flag $ jobs_opt $ shard_out_opt $ const ());
       cmd "validate"
         "Validate any versioned record (vpp-perf/2, vpp-perf/1, vpp-market/1, vpp-profile/1, \
-         vpp-tier/1, vpp-cache/1), dispatching on its embedded schema tag"
+         vpp-tier/1, vpp-cache/1, vpp-shard/1), dispatching on its embedded schema tag"
         Term.(const run_validate $ file_arg $ const ());
       cmd "all" "Every table and figure" Term.(const run_all $ quick_flag $ jobs_opt $ const ());
     ]

@@ -18,7 +18,14 @@ let covers ~held ~wanted =
   | IS, IS -> true
   | (S | IX | IS), _ -> false
 
-type waiter = { w_txn : txn; w_mode : mode; w_resume : unit -> unit }
+type waiter_state = Waiting | Granted | Cancelled
+
+type waiter = {
+  w_txn : txn;
+  w_mode : mode;
+  mutable w_resume : bool -> unit;
+  mutable w_state : waiter_state;
+}
 
 type node = {
   mutable granted : (txn * mode) list;
@@ -30,10 +37,17 @@ type t = {
   by_txn : (txn, resource list) Hashtbl.t;
   mutable blocked : int;
   mutable total_blocked : int;
+  mutable timeouts : int;
 }
 
 let create () =
-  { nodes = Hashtbl.create 256; by_txn = Hashtbl.create 64; blocked = 0; total_blocked = 0 }
+  {
+    nodes = Hashtbl.create 256;
+    by_txn = Hashtbl.create 64;
+    blocked = 0;
+    total_blocked = 0;
+    timeouts = 0;
+  }
 
 let node t r =
   match Hashtbl.find_opt t.nodes r with
@@ -80,8 +94,12 @@ let acquire t ~txn r mode =
       else begin
         t.blocked <- t.blocked + 1;
         t.total_blocked <- t.total_blocked + 1;
-        Sim_engine.suspend (fun resume ->
-            Queue.add { w_txn = txn; w_mode = mode; w_resume = (fun () -> resume ()) } n.waiters);
+        ignore
+          (Sim_engine.suspend (fun resume ->
+               Queue.add
+                 { w_txn = txn; w_mode = mode; w_resume = resume; w_state = Waiting }
+                 n.waiters)
+            : bool);
         (* We are resumed only once the lock has been granted on our
            behalf by [wake]. *)
         record t ~txn r
@@ -100,18 +118,64 @@ let try_acquire t ~txn r mode =
       end
       else false
 
-(* Grant from the head of the queue while compatible (FIFO, no overtaking). *)
+(* Grant from the head of the queue while compatible (FIFO, no
+   overtaking). Waiters cancelled by a timeout are tombstones: they are
+   skipped here and never granted. *)
 let wake t n =
   let continue_ = ref true in
   while !continue_ do
     match Queue.peek_opt n.waiters with
+    | Some w when w.w_state = Cancelled -> ignore (Queue.pop n.waiters)
     | Some w when grantable n ~txn:w.w_txn ~mode:w.w_mode ->
         ignore (Queue.pop n.waiters);
         n.granted <- (w.w_txn, w.w_mode) :: n.granted;
+        w.w_state <- Granted;
         t.blocked <- t.blocked - 1;
-        w.w_resume ()
+        w.w_resume true
     | Some _ | None -> continue_ := false
   done
+
+let acquire_timeout t ~txn r mode ~timeout_us =
+  let n = node t r in
+  match mode_of t ~txn r with
+  | Some held when covers ~held ~wanted:mode -> true
+  | Some _ -> invalid_arg "Db_locks.acquire_timeout: upgrade unsupported"
+  | None ->
+      if Queue.is_empty n.waiters && grantable n ~txn ~mode then begin
+        n.granted <- (txn, mode) :: n.granted;
+        record t ~txn r;
+        true
+      end
+      else begin
+        t.blocked <- t.blocked + 1;
+        t.total_blocked <- t.total_blocked + 1;
+        let w = { w_txn = txn; w_mode = mode; w_resume = ignore; w_state = Waiting } in
+        (* The deadline runs as its own process; if the waiter is still
+           parked when it fires, the waiter is cancelled in place (wake
+           skips it) and resumed with [false]. A cancelled head may have
+           been the only thing blocking compatible waiters behind it, so
+           give them a chance. The fork must happen here, in the waiting
+           process, not inside [suspend]'s register callback (which runs
+           on the scheduler stack where effects have no handler); the
+           timer cannot fire before registration because registration
+           completes within the same event. *)
+        Sim_engine.fork ~name:"lock-timeout" (fun () ->
+            Sim_engine.delay timeout_us;
+            if w.w_state = Waiting then begin
+              w.w_state <- Cancelled;
+              t.blocked <- t.blocked - 1;
+              t.timeouts <- t.timeouts + 1;
+              wake t n;
+              w.w_resume false
+            end);
+        let granted =
+          Sim_engine.suspend (fun resume ->
+              w.w_resume <- resume;
+              Queue.add w n.waiters)
+        in
+        if granted then record t ~txn r;
+        granted
+      end
 
 let release_all t ~txn =
   match Hashtbl.find_opt t.by_txn txn with
@@ -137,6 +201,7 @@ let held t ~txn =
 
 let waiting t = t.blocked
 let total_blocked t = t.total_blocked
+let timeouts t = t.timeouts
 
 let pp_mode ppf = function
   | IS -> Format.pp_print_string ppf "IS"

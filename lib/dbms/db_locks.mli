@@ -36,6 +36,14 @@ val acquire : t -> txn:txn -> resource -> mode -> unit
 
 val try_acquire : t -> txn:txn -> resource -> mode -> bool
 
+val acquire_timeout : t -> txn:txn -> resource -> mode -> timeout_us:float -> bool
+(** Like {!acquire}, but gives up after [timeout_us] of simulated time in
+    the wait queue and returns [false] (the two-phase-commit
+    abort-on-lock-timeout path). Returns [true] as soon as the lock is
+    granted. A timed-out waiter is cancelled in place — it never holds
+    the lock and FIFO order among the remaining waiters is preserved.
+    Must run inside a simulation process. *)
+
 val release_all : t -> txn:txn -> unit
 (** Release everything the transaction holds, waking eligible waiters. *)
 
@@ -45,6 +53,9 @@ val waiting : t -> int
 
 val total_blocked : t -> int
 (** Cumulative count of acquisitions that had to wait. *)
+
+val timeouts : t -> int
+(** Cumulative count of {!acquire_timeout} waits that expired. *)
 
 val compatible : mode -> mode -> bool
 val covers : held:mode -> wanted:mode -> bool

@@ -52,9 +52,11 @@ type result = {
 }
 
 val run : ?quick:bool -> ?jobs:int -> unit -> result
-(** [quick] drops the largest machine size (CI smoke); [jobs] sets the
-    parallel driver leg's domain count (default
-    [Exp_par.default_jobs ()]). *)
+(** [quick] drops the largest machine size (CI smoke); [jobs] (default
+    [Exp_par.default_jobs ()]) fans the scale and stream legs themselves
+    over that many domains — each leg times itself, and the in-order
+    join keeps every deterministic field identical to a sequential run —
+    and sets the parallel driver leg's domain count. *)
 
 val render : result -> string
 

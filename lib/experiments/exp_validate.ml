@@ -12,6 +12,7 @@ let validators =
     (Exp_profile.schema_version, Exp_profile.validate_json);
     (Exp_tier.schema_version, Exp_tier.validate_json);
     (Exp_cache.schema_version, Exp_cache.validate_json);
+    (Exp_shard.schema_version, Exp_shard.validate_json);
   ]
 
 let known_schemas = List.map fst validators

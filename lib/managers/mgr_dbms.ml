@@ -16,17 +16,23 @@ type t = {
   gen : G.t;
   indices : (index_id, index_info) Hashtbl.t;
   mutable next_index : int;
+  mutable next_file : int;
   mutable page_in_events : int;
   mutable regenerations : int;
 }
 
-let create kernel ?disk ~source ~pool_capacity () =
+let create kernel ?disk ?(name = "dbms-manager") ~source ~pool_capacity () =
   let disk = Option.value disk ~default:(K.machine kernel).Hw_machine.disk in
   let backing = Mgr_backing.disk disk ~page_bytes:(Hw_machine.page_size (K.machine kernel)) in
-  let gen =
-    G.create kernel ~name:"dbms-manager" ~mode:`In_process ~backing ~source ~pool_capacity ()
-  in
-  { gen; indices = Hashtbl.create 32; next_index = 1; page_in_events = 0; regenerations = 0 }
+  let gen = G.create kernel ~name ~mode:`In_process ~backing ~source ~pool_capacity () in
+  {
+    gen;
+    indices = Hashtbl.create 32;
+    next_index = 1;
+    next_file = 0;
+    page_in_events = 0;
+    regenerations = 0;
+  }
 
 let generic t = t.gen
 let manager_id t = G.manager_id t.gen
@@ -46,8 +52,16 @@ let populate t seg ~pages ~file_tag =
     assert (moved = 1)
   done
 
+(* Relations get sequential backing-file ids per instance. (The historic
+   [1000 + pages] scheme gave two same-sized relations the same file —
+   harmless while relations are pinned and never refilled, but a trap for
+   any manager instance whose relations ever page.) *)
 let create_relation t ~name ~pages =
-  let seg = G.create_segment t.gen ~name ~pages ~kind:(G.File { file_id = 1000 + pages }) ~high_water:pages () in
+  let file_id = 1000 + t.next_file in
+  t.next_file <- t.next_file + 1;
+  let seg =
+    G.create_segment t.gen ~name ~pages ~kind:(G.File { file_id }) ~high_water:pages ()
+  in
   populate t seg ~pages ~file_tag:seg;
   G.pin t.gen ~seg ~page:0 ~count:pages;
   seg

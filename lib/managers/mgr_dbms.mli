@@ -24,11 +24,17 @@ type index_id = int
 val create :
   Epcm_kernel.t ->
   ?disk:Hw_disk.t ->
+  ?name:string ->
   source:Mgr_generic.source ->
   pool_capacity:int ->
   unit ->
   t
-(** [disk] defaults to the machine's disk; index loads read it. *)
+(** [disk] defaults to the machine's disk; index loads read it. [name]
+    (default ["dbms-manager"]) names the underlying generic manager —
+    give each instance its own when several coexist (one per database
+    shard). All per-manager state (indices, relation backing-file ids,
+    the free-page pool) is per-instance; two instances on one kernel do
+    not interfere. *)
 
 val generic : t -> Mgr_generic.t
 val manager_id : t -> Epcm_manager.id

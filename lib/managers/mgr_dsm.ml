@@ -21,6 +21,7 @@ type t = {
   mutable transfers : int;
   mutable invalidations : int;
   mutable downgrades : int;
+  mutable messages : int;
 }
 
 let nodes t = t.n_nodes
@@ -33,8 +34,13 @@ let holders t ~page =
     (List.init t.n_nodes Fun.id)
 
 let charge_net t messages =
+  t.messages <- t.messages + messages;
   Hw_machine.charge ~label:"dsm/net" (K.machine t.kern)
     (float_of_int messages *. t.net_latency_us)
+
+(* Non-coherence traffic (e.g. two-phase-commit control messages riding
+   the same interconnect) charges the identical per-message latency. *)
+let charge_messages t ~messages = charge_net t messages
 
 let charge_copy t =
   Hw_machine.charge ~label:"dsm/copy_page" (K.machine t.kern)
@@ -154,13 +160,17 @@ let on_fault t (fault : Mgr.fault) =
             ~clear_flags:Flags.no_access ()
       | Mgr.Cow_write, _ -> acquire_exclusive t ~node ~page:fault.Mgr.f_page)
 
-let create kern ~source ~nodes ~pages ?(net_latency_us = 1000.0) () =
+let create kern ?(name = "dsm-manager") ~source ~nodes ~pages ?(net_latency_us = 1000.0) () =
   if nodes < 1 then invalid_arg "Mgr_dsm.create: need at least one node";
+  (* Keep the historical pool/segment names for the default instance. *)
+  let seg_prefix = if name = "dsm-manager" then "dsm" else name in
   let t =
     {
       kern;
       mid = -1;
-      pool = Mgr_free_pages.create kern ~name:"dsm.free-pages" ~capacity:(max 64 (nodes * pages));
+      pool =
+        Mgr_free_pages.create kern ~name:(seg_prefix ^ ".free-pages")
+          ~capacity:(max 64 (nodes * pages));
       source;
       n_nodes = nodes;
       n_pages = pages;
@@ -172,15 +182,16 @@ let create kern ~source ~nodes ~pages ?(net_latency_us = 1000.0) () =
       transfers = 0;
       invalidations = 0;
       downgrades = 0;
+      messages = 0;
     }
   in
   t.mid <-
-    K.register_manager kern ~name:"dsm-manager" ~mode:`In_process
+    K.register_manager kern ~name ~mode:`In_process
       ~on_fault:(fun f -> on_fault t f)
       ();
   t.node_segs <-
     Array.init nodes (fun n ->
-        let seg = K.create_segment kern ~name:(Printf.sprintf "dsm-node-%d" n) ~pages () in
+        let seg = K.create_segment kern ~name:(Printf.sprintf "%s-node-%d" seg_prefix n) ~pages () in
         K.set_segment_manager kern seg t.mid;
         Hashtbl.replace t.seg_to_node seg n;
         seg);
@@ -197,3 +208,4 @@ let write t ~node ~page data =
 let transfers t = t.transfers
 let invalidations t = t.invalidations
 let downgrades t = t.downgrades
+let messages t = t.messages

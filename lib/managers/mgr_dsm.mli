@@ -21,6 +21,7 @@ type page_state = Invalid | Shared | Exclusive
 
 val create :
   Epcm_kernel.t ->
+  ?name:string ->
   source:Mgr_generic.source ->
   nodes:int ->
   pages:int ->
@@ -28,7 +29,9 @@ val create :
   unit ->
   t
 (** [net_latency_us] (default 1000) is charged per protocol message; a
-    copy transfer is two messages (request + data) plus a page copy. *)
+    copy transfer is two messages (request + data) plus a page copy.
+    [name] (default ["dsm-manager"]) distinguishes several instances on
+    one kernel (the sharded engine runs one per shard machine). *)
 
 val nodes : t -> int
 val node_segment : t -> node:int -> Epcm_segment.id
@@ -50,3 +53,12 @@ val transfers : t -> int  (** Copies shipped between nodes/home. *)
 
 val invalidations : t -> int
 val downgrades : t -> int  (** Exclusive → Shared on a remote read. *)
+
+val messages : t -> int
+(** All interconnect messages charged, coherence and
+    {!charge_messages}. *)
+
+val charge_messages : t -> messages:int -> unit
+(** Charge [messages] non-coherence messages (two-phase-commit control
+    traffic) at the same per-message latency, counted in {!messages}.
+    This is the transport hook the cross-shard coordinator uses. *)

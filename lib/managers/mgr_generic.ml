@@ -113,6 +113,8 @@ let info t seg =
   | Some i -> i
   | None -> raise (Out_of_frames (Printf.sprintf "%s: fault on unmanaged segment %d" t.name seg))
 
+let segment_kind t seg = Option.map (fun i -> i.kind) (Hashtbl.find_opt t.segs seg)
+
 let charge_logic t =
   Hw_machine.charge ~label:"mgr/fault_logic" (K.machine t.kern)
     (K.machine t.kern).Hw_machine.cost.Hw_cost.manager_fault_logic

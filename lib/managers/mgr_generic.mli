@@ -99,6 +99,11 @@ val pool : t -> Mgr_free_pages.t
 val backing : t -> Mgr_backing.t
 val stats : t -> stats
 
+val segment_kind : t -> Epcm_segment.id -> seg_kind option
+(** The kind a managed segment was created/adopted with ([None] for
+    segments this manager does not own) — lets callers and tests see the
+    backing [file_id] a [File] segment addresses. *)
+
 val adopt :
   t -> Epcm_segment.id -> kind:seg_kind -> ?high_water:int -> ?superpages:bool -> unit -> unit
 (** Take over management of an existing segment ([SetSegmentManager]).

@@ -728,6 +728,67 @@ let test_market_storm_replay () =
   check_bool "storm replays seed-for-seed" true (a = b)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded engine: a contention storm across shards                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Crank the cross-shard fraction to half of all transactions, squeeze
+   the contended remote window to a single hot page and cut the lock
+   wait budget: remote prepares pile up on the same lock and the
+   timeout → Vote_abort → presumed-abort path fires constantly. The
+   storm invariants are the usual ones — exact accounting (commits +
+   aborts = txns, local + cross = txns), frame conservation on every
+   shard machine, no leaked processes (folded into [r_conserved]) —
+   plus seed-for-seed replay of the whole result, latencies included. *)
+let shard_storm_spec =
+  {
+    Db_shard.default with
+    Db_shard.sp_shards = 3;
+    sp_total_txns = 900;
+    sp_cross_fraction = 0.5;
+    sp_hot_remote_pages = 1;
+    sp_remote_pages = 16;
+    sp_lock_timeout_us = 2_000.0;
+    sp_seed = 424_242L;
+  }
+
+let run_shard_storm () =
+  List.init shard_storm_spec.Db_shard.sp_shards (fun shard ->
+      Db_shard.run_shard shard_storm_spec ~shard)
+
+let test_shard_contention_storm () =
+  let results = run_shard_storm () in
+  let total f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  check_bool "the storm actually stormed (lock timeouts)" true
+    (total (fun r -> r.Db_shard.r_lock_timeouts) > 0);
+  check_bool "timeouts became 2PC aborts" true (total (fun r -> r.Db_shard.r_aborts) > 0);
+  check_bool "most transactions still commit" true
+    (total (fun r -> r.Db_shard.r_commits) > total (fun r -> r.Db_shard.r_aborts));
+  check_int "commits + aborts = txns"
+    (total (fun r -> r.Db_shard.r_txns))
+    (total (fun r -> r.Db_shard.r_commits) + total (fun r -> r.Db_shard.r_aborts));
+  check_int "local + cross = txns"
+    (total (fun r -> r.Db_shard.r_txns))
+    (total (fun r -> r.Db_shard.r_local) + total (fun r -> r.Db_shard.r_cross));
+  check_int "every transaction ran somewhere" shard_storm_spec.Db_shard.sp_total_txns
+    (total (fun r -> r.Db_shard.r_txns));
+  List.iter
+    (fun r ->
+      check_bool
+        (Printf.sprintf "shard %d conserved through the storm" r.Db_shard.r_shard)
+        true r.Db_shard.r_conserved)
+    results
+
+let test_shard_storm_replay () =
+  let a = run_shard_storm () in
+  let b = run_shard_storm () in
+  check_bool "storm replays seed-for-seed" true (a = b);
+  let c =
+    List.init shard_storm_spec.Db_shard.sp_shards (fun shard ->
+        Db_shard.run_shard { shard_storm_spec with Db_shard.sp_seed = 99L } ~shard)
+  in
+  check_bool "different seed, different storm" true (a <> c)
+
+(* ------------------------------------------------------------------ *)
 (* The full experiment: every scenario, run twice, replay-equal        *)
 (* ------------------------------------------------------------------ *)
 
@@ -805,6 +866,12 @@ let () =
         [
           Alcotest.test_case "tenant storm under disk faults" `Quick test_market_storm;
           Alcotest.test_case "storm replays seed-for-seed" `Quick test_market_storm_replay;
+        ] );
+      ( "sharded engine",
+        [
+          Alcotest.test_case "contention storm across shards" `Quick
+            test_shard_contention_storm;
+          Alcotest.test_case "storm replays seed-for-seed" `Quick test_shard_storm_replay;
         ] );
       ( "experiment",
         [

@@ -160,8 +160,10 @@ let test_validate_known_schemas () =
       Exp_profile.schema_version;
       Exp_tier.schema_version;
       Exp_cache.schema_version;
+      Exp_shard.schema_version;
     ];
-  Alcotest.(check int) "exactly the six known schemas" 6 (List.length Exp_validate.known_schemas)
+  Alcotest.(check int) "exactly the seven known schemas" 7
+    (List.length Exp_validate.known_schemas)
 
 (* No command emits vpp-perf/1 anymore; the legacy validator is kept for
    records written by older builds, so the coverage here is a
@@ -187,6 +189,7 @@ let test_validate_dispatches_all_schemas () =
       (Exp_profile.schema_version, Exp_profile.render_json (Exp_profile.run ()));
       (Exp_tier.schema_version, Exp_tier.render_json (Exp_tier.run ~quick:true ()));
       (Exp_cache.schema_version, Exp_cache.render_json (Exp_cache.run ~quick:true ()));
+      (Exp_shard.schema_version, Exp_shard.render_json (Exp_shard.run ~quick:true ~jobs:2 ()));
     ]
   in
   List.iter
@@ -224,6 +227,8 @@ let test_validate_rejects () =
     {|{"schema": "vpp-cache/1"}|};
   reject "an empty vpp-tier/1 record" ~expect:"invalid vpp-tier/1 record"
     {|{"schema": "vpp-tier/1"}|};
+  reject "an empty vpp-shard/1 record" ~expect:"invalid vpp-shard/1 record"
+    {|{"schema": "vpp-shard/1"}|};
   reject "a vpp-perf/1 record with one scale" ~expect:"at least two scales"
     {|{"schema": "vpp-perf/1", "mode": "quick",
        "scales": [{"name": "8mb", "conserved": true, "events": 1, "faults": 1, "wall_s": 0}]}|};
@@ -258,13 +263,48 @@ let test_validate_rejects () =
              fields)
     | j -> j
   in
-  match Exp_validate.validate doctored with
+  (match Exp_validate.validate doctored with
   | Ok tag -> Alcotest.fail ("dispatcher accepted a doctored cache record as " ^ tag)
   | Error e ->
       check_bool
         (Printf.sprintf "doctored cache record rejected for the right reason (got %S)" e)
         true
-        (contains ~needle:"did not beat random" e)
+        (contains ~needle:"did not beat random" e));
+  (* A failing vpp-shard/1 gate: the single-shard baseline claiming 2PC
+     traffic — the zero-delta discipline broken in the record itself. *)
+  let shard_record = Exp_shard.run ~quick:true () in
+  let doctored_shard =
+    match Exp_shard.to_json shard_record with
+    | Sim_json.Obj fields ->
+        Sim_json.Obj
+          (List.map
+             (function
+               | "legs", Sim_json.List legs ->
+                   ( "legs",
+                     Sim_json.List
+                       (List.map
+                          (function
+                            | Sim_json.Obj leg
+                              when List.assoc_opt "shards" leg = Some (Sim_json.Num 1.0) ->
+                                Sim_json.Obj
+                                  (List.map
+                                     (function
+                                       | "msgs", _ -> ("msgs", Sim_json.Num 8.0)
+                                       | kv -> kv)
+                                     leg)
+                            | j -> j)
+                          legs) )
+               | kv -> kv)
+             fields)
+    | j -> j
+  in
+  match Exp_validate.validate doctored_shard with
+  | Ok tag -> Alcotest.fail ("dispatcher accepted a doctored shard record as " ^ tag)
+  | Error e ->
+      check_bool
+        (Printf.sprintf "doctored shard record rejected for the right reason (got %S)" e)
+        true
+        (contains ~needle:"zero-delta broken" e)
 
 let test_renders_nonempty () =
   check_bool "table1 renders" true (String.length (Exp_table1.render (Exp_table1.run ())) > 100);

@@ -144,6 +144,23 @@ let test_scale_counts_pinned () =
   check_bool "events counted" true (r.Wl_scale.r_events > 0);
   check_bool "simulated clock advanced" true (r.Wl_scale.r_sim_us > 0.0)
 
+(* The perf record's own legs are fanned over domains by [~jobs]; the
+   in-order join must keep every deterministic field identical to a
+   sequential run — only the self-timed wall clocks (and the driver
+   leg's timings) may differ. A drift here means a scale or stream leg
+   picked up hidden cross-leg state. *)
+let test_perf_record_jobs_invariant () =
+  let a = Exp_scale.run ~quick:true ~jobs:1 () in
+  let b = Exp_scale.run ~quick:true ~jobs:2 () in
+  check_bool "scale legs identical across jobs" true
+    (List.map (fun s -> s.Exp_scale.s_result) a.Exp_scale.scales
+    = List.map (fun s -> s.Exp_scale.s_result) b.Exp_scale.scales);
+  check_bool "stream legs identical across jobs" true
+    (List.map (fun s -> s.Exp_scale.t_result) a.Exp_scale.stream
+    = List.map (fun s -> s.Exp_scale.t_result) b.Exp_scale.stream);
+  check_bool "driver output identical in both runs" true
+    (a.Exp_scale.driver.Exp_scale.d_identical && b.Exp_scale.driver.Exp_scale.d_identical)
+
 let () =
   Alcotest.run "workloads"
     [
@@ -166,6 +183,8 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick test_scale_deterministic;
           Alcotest.test_case "8 MB counts pinned" `Quick test_scale_counts_pinned;
+          Alcotest.test_case "perf record identical across --jobs" `Slow
+            test_perf_record_jobs_invariant;
         ] );
       ( "ultrix",
         [
